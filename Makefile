@@ -1,0 +1,23 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench report examples all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	pytest benchmarks/
+
+report:
+	python -m repro.experiments.report EXPERIMENTS.md
+
+examples:
+	for e in examples/*.py; do echo "== $$e"; python $$e || exit 1; done
+
+all: test bench-full report

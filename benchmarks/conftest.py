@@ -1,0 +1,12 @@
+"""Benchmark harness configuration.
+
+Each benchmark module reproduces one experiment from the paper's
+evaluation (see DESIGN.md's per-experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The benches print the same rows the paper reports and assert the
+*shape* of the results (who wins, by roughly what factor) rather than
+absolute numbers, since the substrate is a simulator rather than the
+authors' Raspberry Pi.
+"""

@@ -1,0 +1,53 @@
+"""E10 — speedup vs problem size (crossover analysis).
+
+Fixed costs — two shader compilations and per-draw driver overhead —
+dominate small problems, so the CPU wins below a crossover size and
+the GPU's advantage saturates toward the E1 figure above it.  The
+bench prints the sweep and asserts the monotone shape.
+"""
+
+import pytest
+
+from repro.experiments.speedup import PAPER_SPEEDUPS
+from repro.experiments.sweep import format_sweep, run_size_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    result = run_size_sweep("int32")
+    print()
+    print(format_sweep(result))
+    return result
+
+
+def test_benchmark_size_sweep(benchmark):
+    benchmark.pedantic(
+        run_size_sweep, args=("int32", (1024, 65536)), rounds=1, iterations=1
+    )
+
+
+class TestShape:
+    def test_cpu_wins_tiny_problems(self, sweep):
+        assert sweep.points[0].speedup < 1.0
+
+    def test_gpu_wins_large_problems(self, sweep):
+        assert sweep.points[-1].speedup > 4.0
+
+    def test_crossover_exists_and_is_moderate(self, sweep):
+        crossover = sweep.crossover_size()
+        assert crossover is not None
+        assert 1024 <= crossover <= 262144
+
+    def test_speedup_monotone_in_size(self, sweep):
+        speedups = [point.speedup for point in sweep.points]
+        assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))
+
+    def test_saturates_toward_paper_figure(self, sweep):
+        final = sweep.points[-1].speedup
+        assert final == pytest.approx(PAPER_SPEEDUPS[("sum", "int32")], rel=0.2)
+
+    def test_gpu_time_grows_sublinearly_at_the_bottom(self, sweep):
+        # Fixed costs dominate: 4x the work costs far less than 4x the
+        # time at small sizes.
+        first, second = sweep.points[0], sweep.points[1]
+        assert second.gpu_seconds < 4 * first.gpu_seconds

@@ -1,0 +1,65 @@
+"""E1 — regenerate the paper's §V results table.
+
+Paper numbers: sum 7.2x (int) / 6.5x (fp); sgemm 6.5x (int) / 6.3x (fp)
+at the paper's sizes (1024-element configuration: 2^20-element arrays
+for sum, 1024x1024 matrices for sgemm), wall times including transfers
+and kernel compilation.
+
+Shape assertions: the GPU wins all four benchmarks by 4-10x; integer
+beats float on the same benchmark; and each speedup is within ~20% of
+the paper's figure.
+"""
+
+import pytest
+
+from repro.experiments.speedup import (
+    PAPER_SPEEDUPS,
+    format_speedup_table,
+    run_speedup_table,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = run_speedup_table()
+    print()
+    print(format_speedup_table(rows))
+    return {(row.benchmark, row.fmt): row for row in rows}
+
+
+def test_benchmark_regenerates_table(benchmark, table):
+    """Timed entry point: re-running the projection pipeline."""
+    benchmark.pedantic(run_speedup_table, rounds=1, iterations=1)
+
+
+class TestShape:
+    def test_gpu_wins_everywhere(self, table):
+        for row in table.values():
+            assert row.speedup > 4.0, f"{row.benchmark}/{row.fmt} GPU should win"
+
+    def test_speedups_in_paper_band(self, table):
+        for key, row in table.items():
+            paper = PAPER_SPEEDUPS[key]
+            assert row.speedup == pytest.approx(paper, rel=0.20), (
+                f"{key}: measured {row.speedup:.2f} vs paper {paper}"
+            )
+
+    def test_int_beats_float_per_benchmark(self, table):
+        assert table[("sum", "int32")].speedup > table[("sum", "float32")].speedup
+        assert (
+            table[("sgemm", "int32")].speedup
+            >= table[("sgemm", "float32")].speedup * 0.98
+        )
+
+    def test_sum_has_highest_speedup(self, table):
+        best = max(table.values(), key=lambda row: row.speedup)
+        assert (best.benchmark, best.fmt) == ("sum", "int32")
+
+    def test_wall_times_include_compile_and_transfers(self, table):
+        for row in table.values():
+            assert row.gpu.compile_seconds > 0
+            assert row.gpu.upload_seconds > 0
+            assert row.gpu.readback_seconds > 0
+
+    def test_results_validated_against_cpu(self, table):
+        assert all(row.validated for row in table.values())

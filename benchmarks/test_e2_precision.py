@@ -1,0 +1,62 @@
+"""E2 — regenerate the paper's §V precision finding.
+
+Paper: fp32 GPU results agree with the CPU "within the 15 most
+significant bits of the mantissa" — better than fp16 (10-bit
+mantissa), between fp24 (16-bit) and fp32 (23-bit) — while "the same
+transformations on the CPU are precise" (bit-exact).
+
+The bench prints the matched-bit table for sum and sgemm under the
+platform model (``videocore``) and the CPU-reference model
+(``exact``), plus the mantissa-agreement histogram.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.prec import (
+    FP16_MANTISSA_BITS,
+    FP32_MANTISSA_BITS,
+    PAPER_BAND_BITS,
+    format_precision_rows,
+    run_precision_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    result = run_precision_experiment()
+    print()
+    print(format_precision_rows(result))
+    return {(row.benchmark, row.model): row for row in result}
+
+
+def test_benchmark_regenerates_experiment(benchmark):
+    benchmark.pedantic(run_precision_experiment, rounds=1, iterations=1)
+
+
+class TestShape:
+    def test_platform_results_in_paper_band(self, rows):
+        """>= 15 matched mantissa bits under the videocore model."""
+        for bench in ("sum", "sgemm"):
+            row = rows[(bench, "videocore")]
+            assert row.in_paper_band, f"{bench}: {row.report}"
+
+    def test_platform_better_than_fp16(self, rows):
+        for bench in ("sum", "sgemm"):
+            report = rows[(bench, "videocore")].report
+            assert report.median_bits > FP16_MANTISSA_BITS
+
+    def test_platform_below_full_fp32(self, rows):
+        """The loss is real: the platform is NOT bit-exact."""
+        for bench in ("sum", "sgemm"):
+            report = rows[(bench, "videocore")].report
+            assert report.median_bits < FP32_MANTISSA_BITS
+
+    def test_cpu_transformations_are_precise(self, rows):
+        """Under the exact model (the CPU path) agreement is full."""
+        for bench in ("sum", "sgemm"):
+            report = rows[(bench, "exact")].report
+            assert report.median_bits == FP32_MANTISSA_BITS
+
+    def test_band_is_15_bits(self):
+        assert PAPER_BAND_BITS == 15

@@ -1,0 +1,55 @@
+"""E3 — regenerate Figure 2 (CPU vs GPU float byte layout).
+
+Prints the byte-layout table for representative floats and asserts the
+structural properties the figure illustrates: the full biased exponent
+occupies GPU byte 3, the sign bit moves to byte 2's MSB, and the
+mantissa bytes are untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig2 import (
+    DEFAULT_VALUES,
+    format_fig2_rows,
+    run_fig2_layout,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    result = run_fig2_layout()
+    print()
+    print(format_fig2_rows(result))
+    return result
+
+
+def test_benchmark_regenerates_figure(benchmark):
+    benchmark.pedantic(run_fig2_layout, rounds=3, iterations=1)
+
+
+class TestShape:
+    def test_gpu_byte3_is_biased_exponent(self, rows):
+        for row in rows:
+            assert row.gpu_bytes[3] == row.biased_exponent
+
+    def test_gpu_byte2_msb_is_sign(self, rows):
+        for row in rows:
+            assert (row.gpu_bytes[2] >> 7) == row.sign
+
+    def test_mantissa_low_bytes_unchanged(self, rows):
+        for row in rows:
+            assert row.gpu_bytes[0] == row.cpu_bytes[0]
+            assert row.gpu_bytes[1] == row.cpu_bytes[1]
+
+    def test_mantissa_high_bits_preserved(self, rows):
+        for row in rows:
+            assert (row.gpu_bytes[2] & 0x7F) == (row.mantissa >> 16)
+
+    def test_covers_default_values(self, rows):
+        assert len(rows) == len(DEFAULT_VALUES)
+
+    def test_one_point_zero_reference_row(self, rows):
+        one = next(r for r in rows if r.value == 1.0)
+        # 1.0f: IEEE 0x3F800000 -> GPU bytes (b3..b0) = 7f 00 00 00.
+        assert one.gpu_bytes == (0, 0, 0, 0x7F)

@@ -1,0 +1,94 @@
+"""E4 — §IV round-trip correctness ("we validate the results with the
+CPU").
+
+For every numeric format the paper enables, data goes CPU -> texture
+bytes -> shader unpack -> shader pack -> framebuffer bytes -> CPU and
+must come back exact (within the stated envelopes: full range for
+chars and floats, 24-bit envelope for integers on the fp32 path).
+
+Prints a per-format table with the measured exactness; the benchmark
+times the full GPU round trip per format.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GpgpuDevice
+from repro.core.numerics import FORMATS
+
+
+def _values_for(fmt, count=512, seed=11):
+    rng = np.random.default_rng(seed)
+    if fmt.dtype == np.float16:
+        return np.concatenate([
+            (rng.standard_normal(count - 4) * 10.0),
+            [0.0, 1.0, -1.0, 0.5],
+        ]).astype(np.float16)
+    if fmt.dtype.kind == "f":
+        return np.concatenate([
+            (rng.standard_normal(count - 6) *
+             10.0 ** rng.integers(-20, 20, count - 6)),
+            [0.0, 1.0, -1.0, 0.5, 1e10, -1e-10],
+        ]).astype(np.float32)
+    if fmt.limited_to_24_bits:
+        lo = -(2**23) if fmt.dtype.kind == "i" else 0
+        return rng.integers(lo, 2**23, count).astype(fmt.dtype)
+    info = np.iinfo(fmt.dtype)
+    return rng.integers(info.min, info.max + 1, count).astype(fmt.dtype)
+
+
+def gpu_roundtrip(fmt_name, values):
+    """Identity kernel: the full upload -> unpack -> pack -> readback."""
+    device = GpgpuDevice(float_model="ieee32")
+    kernel = device.kernel(
+        f"ident_{fmt_name}", [("a", fmt_name)], fmt_name, "result = a;"
+    )
+    out = device.empty(values.shape[0], fmt_name)
+    kernel(out, {"a": device.array(values)})
+    return out.to_host()
+
+
+@pytest.fixture(scope="module")
+def results():
+    table = {}
+    print()
+    print(f"{'format':>9} {'elements':>9} {'exact':>6}")
+    for name, fmt in FORMATS.items():
+        values = _values_for(fmt)
+        recovered = gpu_roundtrip(name, values)
+        if fmt.dtype.kind == "f":
+            bit_view = np.uint16 if fmt.dtype == np.float16 else np.uint32
+            exact = np.array_equal(
+                recovered.view(bit_view), values.view(bit_view)
+            )
+        else:
+            exact = np.array_equal(recovered, values)
+        table[name] = (values, recovered, exact)
+        print(f"{name:>9} {values.shape[0]:>9} {str(exact):>6}")
+    return table
+
+
+@pytest.mark.parametrize("name", list(FORMATS))
+def test_roundtrip_exact(results, name):
+    __, __, exact = results[name]
+    assert exact, f"{name} did not round-trip exactly"
+
+
+@pytest.mark.parametrize("name", list(FORMATS))
+def test_benchmark_roundtrip(benchmark, name):
+    values = _values_for(FORMATS[name], count=256)
+    recovered = benchmark.pedantic(
+        gpu_roundtrip, args=(name, values), rounds=1, iterations=1
+    )
+    assert recovered.shape == values.shape
+
+
+def test_special_values_roundtrip():
+    """Optional §IV-E feature: infinities and NaN survive the trip."""
+    values = np.array([np.inf, -np.inf, np.nan, 0.0, 1.0], dtype=np.float32)
+    recovered = gpu_roundtrip("float32", values)
+    assert recovered[0] == np.inf
+    assert recovered[1] == -np.inf
+    assert np.isnan(recovered[2])
+    assert recovered[3] == 0.0
+    assert recovered[4] == 1.0

@@ -1,0 +1,80 @@
+"""E5 — ablations of the design choices §III calls out.
+
+1. Readback ordering (challenge 7): reading a kernel result directly
+   from the framebuffer vs paying the extra pass-through copy shader.
+   The paper: "with careful kernel ordering the texture to be read can
+   be already mapped into the framebuffer, so that there is no need
+   for the additional shader."
+
+2. Packing overhead (§V): the paper's kernels win "even with the
+   extra burden of packing and unpacking inputs and outputs".  The
+   ablation quantifies that burden against a hypothetical native-
+   format kernel.
+"""
+
+import pytest
+
+from repro.experiments.ablation import (
+    run_packing_ablation,
+    run_readback_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def readback():
+    result = run_readback_ablation()
+    print()
+    print(f"{result.name}:")
+    print(f"  optimised   : {result.optimized.total_seconds * 1e3:8.3f} ms")
+    print(f"  unoptimised : {result.unoptimized.total_seconds * 1e3:8.3f} ms")
+    print(f"  overhead    : x{result.overhead_factor:.2f}")
+    return result
+
+
+@pytest.fixture(scope="module")
+def packing():
+    result = run_packing_ablation()
+    print()
+    print(f"{result.name}:")
+    print(f"  native-format ALU/element : "
+          f"{result.optimized_alu_per_element:8.1f}")
+    print(f"  packed (§IV) ALU/element  : "
+          f"{result.unoptimized_alu_per_element:8.1f}")
+    print(f"  arithmetic overhead       : x{result.alu_overhead_factor:.2f}")
+    print(f"  end-to-end overhead       : x{result.overhead_factor:.2f}")
+    return result
+
+
+def test_benchmark_readback(benchmark):
+    benchmark.pedantic(run_readback_ablation, rounds=1, iterations=1)
+
+
+def test_benchmark_packing(benchmark):
+    benchmark.pedantic(run_packing_ablation, rounds=1, iterations=1)
+
+
+class TestReadbackShape:
+    def test_copy_pass_costs_more(self, readback):
+        assert readback.overhead_factor > 1.1
+
+    def test_copy_pass_not_catastrophic(self, readback):
+        # One extra fullscreen pass: bounded, not orders of magnitude.
+        assert readback.overhead_factor < 4.0
+
+    def test_same_results_either_way(self, readback):
+        # Implicit: run_readback_ablation asserts result equality.
+        assert readback.optimized.total_seconds > 0
+
+
+class TestPackingShape:
+    def test_packing_costs_arithmetic(self, packing):
+        """The §IV int32 transformations roughly double the
+        per-element shader arithmetic relative to a byte-format kernel
+        (addressing and fetch costs are common to both) — the 'burden'
+        the paper accepts to get generality."""
+        assert packing.alu_overhead_factor > 1.5
+
+    def test_burden_does_not_erase_the_win(self, packing):
+        # End-to-end the packed kernel stays within a small factor:
+        # transfers and fixed costs dominate at this size.
+        assert packing.overhead_factor < 2.0

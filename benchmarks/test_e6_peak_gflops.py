@@ -1,0 +1,59 @@
+"""E6 — the 24 GFlops device peak (paper §I and §V).
+
+"Raspberry Pi ... relies on the VideoCore IV GPU, capable of
+24 GFlops."  The check recomputes the peak from microarchitectural
+parameters and measures how close a pure-ALU kernel gets in the
+timing model (it cannot exceed peak; a dense multiply-add kernel
+should get within an order of magnitude even with packing overhead).
+"""
+
+import numpy as np
+import pytest
+
+from repro import GpgpuDevice
+from repro.experiments.peak import PAPER_PEAK_GFLOPS, run_peak_check
+from repro.perf.gpu_model import GpuModel
+
+
+@pytest.fixture(scope="module")
+def check():
+    result = run_peak_check()
+    print()
+    print(f"derived peak : {result.derived_gflops:.1f} GFlops")
+    print(f"model peak   : {result.model_gflops:.1f} GFlops")
+    print(f"paper quote  : {result.paper_gflops:.1f} GFlops")
+    return result
+
+
+def test_benchmark_peak_check(benchmark):
+    benchmark.pedantic(run_peak_check, rounds=10, iterations=1)
+
+
+class TestShape:
+    def test_peak_matches_paper(self, check):
+        assert check.consistent
+        assert check.model_gflops == PAPER_PEAK_GFLOPS
+
+    def test_dense_kernel_throughput_below_peak(self):
+        """A multiply-add-heavy float kernel: measured model GFlops
+        must be positive and strictly below peak."""
+        device = GpgpuDevice(float_model="ieee32")
+        kernel = device.kernel(
+            "flops",
+            [("x", "float32")],
+            "float32",
+            # 32 multiply-adds per element.
+            "float acc = x;\n"
+            "for (int i = 0; i < 32; i++) { acc = acc * 1.0001 + 0.5; }\n"
+            "result = acc;",
+        )
+        n = 4096
+        out = device.empty(n, "float32")
+        kernel(out, {"x": device.array(np.ones(n, dtype=np.float32))})
+        draw = device.ctx.stats.draws[-1]
+        model = GpuModel()
+        seconds = model.draw_time(draw).shader_seconds
+        flops = draw.fragment_ops.alu
+        gflops = flops / seconds / 1e9
+        assert 0 < gflops <= PAPER_PEAK_GFLOPS + 1e-9
+        assert gflops > PAPER_PEAK_GFLOPS / 10

@@ -1,0 +1,111 @@
+"""E7 (extension) — why vendor half-float extensions are "not enough".
+
+Paper §II-B(5/6): "some vendors provide extensions for half floats, in
+general it is not enough for general purpose computations" and the
+half-float framebuffer path is "neither enough nor portable".
+
+This bench makes the claim quantitative: the same sum and sgemm
+computations run through (a) the fp16 path a vendor extension would
+give and (b) the paper's fp32 byte-packing path, both against the
+fp32 CPU reference.  The fp16 path tops out at its 10-bit mantissa
+(and overflows at 65504), while the paper's transformations keep the
+full fp32 width — exceeding even the 15-bit band the real platform
+achieves.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GpgpuDevice
+from repro.baselines import cpu_sgemm
+from repro.baselines.cpu_kernels import random_matrices
+from repro.core.numerics import FP16_MANTISSA_BITS, FP16_MAX
+from repro.kernels import make_sgemm_kernel, make_sum_kernel
+from repro.validation import precision_report
+
+
+def run_sum(fmt: str, size: int = 4096, seed: int = 13):
+    rng = np.random.default_rng(seed)
+    a32 = (rng.standard_normal(size) * 100).astype(np.float32)
+    b32 = (rng.standard_normal(size) * 100).astype(np.float32)
+    device = GpgpuDevice(float_model="ieee32")
+    kernel = make_sum_kernel(device, fmt)
+    dtype = np.float16 if fmt == "float16" else np.float32
+    out = device.empty(size, fmt)
+    kernel(out, {"a": device.array(a32.astype(dtype)),
+                 "b": device.array(b32.astype(dtype))})
+    return precision_report(a32 + b32, out.to_host().astype(np.float64))
+
+
+def run_sgemm(fmt: str, n: int = 32, seed: int = 14):
+    a, b, c = random_matrices(n, np.float32, seed=seed)
+    device = GpgpuDevice(float_model="ieee32")
+    kernel = make_sgemm_kernel(device, fmt, n)
+    dtype = np.float16 if fmt == "float16" else np.float32
+    out = device.empty(n * n, fmt)
+    kernel(
+        out,
+        {"a": device.array(a.reshape(-1).astype(dtype)),
+         "b": device.array(b.reshape(-1).astype(dtype)),
+         "c0": device.array(c.reshape(-1).astype(dtype))},
+        {"u_n": float(n), "u_alpha": 1.0, "u_beta": 0.0},
+    )
+    reference = cpu_sgemm(1.0, a, b, 0.0, c)
+    return precision_report(reference, out.to_host().astype(np.float64))
+
+
+@pytest.fixture(scope="module")
+def reports():
+    table = {}
+    print()
+    print(f"{'benchmark':>9} {'path':>8} {'median bits':>12} {'>=15 bits':>10}")
+    for bench, runner in (("sum", run_sum), ("sgemm", run_sgemm)):
+        for fmt in ("float16", "float32"):
+            report = runner(fmt)
+            table[(bench, fmt)] = report
+            print(f"{bench:>9} {fmt:>8} {report.median_bits:12.1f} "
+                  f"{report.fraction_ge_15 * 100:9.1f}%")
+    return table
+
+
+def test_benchmark_fp16_sum(benchmark):
+    benchmark.pedantic(run_sum, args=("float16", 1024), rounds=1, iterations=1)
+
+
+def test_benchmark_fp32_sum(benchmark):
+    benchmark.pedantic(run_sum, args=("float32", 1024), rounds=1, iterations=1)
+
+
+class TestShape:
+    def test_fp16_limited_to_its_mantissa(self, reports):
+        for bench in ("sum", "sgemm"):
+            report = reports[(bench, "float16")]
+            assert report.median_bits <= FP16_MANTISSA_BITS + 1.5
+
+    def test_fp16_misses_the_paper_band(self, reports):
+        """The extension path cannot reach the >= 15-bit band."""
+        for bench in ("sum", "sgemm"):
+            assert not reports[(bench, "float16")].meets_paper_band()
+
+    def test_fp32_path_reaches_the_band(self, reports):
+        for bench in ("sum", "sgemm"):
+            assert reports[(bench, "float32")].meets_paper_band()
+
+    def test_fp32_beats_fp16_everywhere(self, reports):
+        for bench in ("sum", "sgemm"):
+            assert (
+                reports[(bench, "float32")].median_bits
+                > reports[(bench, "float16")].median_bits + 5
+            )
+
+    def test_fp16_range_saturates(self):
+        """Beyond 65504 the fp16 path destroys data outright."""
+        device = GpgpuDevice(float_model="ieee32")
+        kernel = make_sum_kernel(device, "float16")
+        big = np.array([60000.0, 1.0], dtype=np.float16)
+        out = device.empty(2, "float16")
+        kernel(out, {"a": device.array(big), "b": device.array(big)})
+        result = out.to_host().astype(np.float64)
+        assert np.isinf(result[0])  # 120000 overflows fp16
+        assert result[1] == 2.0
+        assert FP16_MAX == 65504.0

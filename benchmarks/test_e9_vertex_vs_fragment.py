@@ -1,0 +1,105 @@
+"""E9 (design comparison) — vertex vs fragment stage kernels (§III-1).
+
+"The GPGPU computations can be either implemented in the vertex or
+the fragment processing stage (or both), with the fragment one being
+the most popular."  This bench quantifies *why* fragment kernels won:
+
+* per-element fixed cost: a vertex costs ~80 pipeline cycles vs ~0.5
+  for a fragment on the modeled VideoCore IV;
+* data residence: fragment kernels read textures that stay on the
+  GPU between launches, while the vertex path re-uploads attribute
+  streams every launch (no vertex texture units on this device);
+* expressiveness: the vertex path cannot gather at all.
+
+Both paths must agree bit-for-bit on the same map kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GpgpuDevice
+from repro.perf.wallclock import gpu_wall_time
+
+
+def run_sum(stage: str, n: int = 16384, launches: int = 4):
+    device = GpgpuDevice(float_model="ieee32")
+    rng = np.random.default_rng(51)
+    a = rng.integers(-(2**22), 2**22, n).astype(np.int32)
+    b = rng.integers(-(2**22), 2**22, n).astype(np.int32)
+    out = device.empty(n, "int32")
+    if stage == "vertex":
+        kernel = device.vertex_kernel(
+            "e9v", [("a", "int32"), ("b", "int32")], "int32",
+            "result = a + b;",
+        )
+        for __ in range(launches):
+            kernel(out, {"a": a, "b": b})
+    else:
+        kernel = device.kernel(
+            "e9f", [("a", "int32"), ("b", "int32")], "int32",
+            "result = a + b;",
+        )
+        a_arr, b_arr = device.array(a), device.array(b)
+        for __ in range(launches):
+            kernel(out, {"a": a_arr, "b": b_arr})
+    result = out.to_host()
+    assert np.array_equal(result, a + b)
+    return device, result
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    vertex_device, vertex_result = run_sum("vertex")
+    fragment_device, fragment_result = run_sum("fragment")
+    v_time = gpu_wall_time(vertex_device.ctx.stats)
+    f_time = gpu_wall_time(fragment_device.ctx.stats)
+    print()
+    print(f"{'stage':>9} {'execute [ms]':>13} {'upload [ms]':>12} "
+          f"{'total [ms]':>11}")
+    for label, tl in (("vertex", v_time), ("fragment", f_time)):
+        print(f"{label:>9} {tl.execute_seconds * 1e3:13.3f} "
+              f"{tl.upload_seconds * 1e3:12.3f} "
+              f"{tl.total_seconds * 1e3:11.3f}")
+    return {
+        "vertex": (vertex_device, vertex_result, v_time),
+        "fragment": (fragment_device, fragment_result, f_time),
+    }
+
+
+def test_benchmark_vertex_stage(benchmark):
+    benchmark.pedantic(run_sum, args=("vertex", 4096, 1),
+                       rounds=1, iterations=1)
+
+
+def test_benchmark_fragment_stage(benchmark):
+    benchmark.pedantic(run_sum, args=("fragment", 4096, 1),
+                       rounds=1, iterations=1)
+
+
+class TestShape:
+    def test_results_identical(self, comparison):
+        __, v_result, __ = comparison["vertex"]
+        __, f_result, __ = comparison["fragment"]
+        assert np.array_equal(v_result, f_result)
+
+    def test_fragment_execute_cheaper(self, comparison):
+        """The per-vertex pipeline overhead makes the vertex stage
+        slower for the same arithmetic."""
+        __, __, v_time = comparison["vertex"]
+        __, __, f_time = comparison["fragment"]
+        assert f_time.execute_seconds < v_time.execute_seconds
+
+    def test_vertex_path_reuploads_per_launch(self, comparison):
+        """Fragment inputs upload once (textures persist); vertex
+        attributes upload on every launch."""
+        v_device, __, __ = comparison["vertex"]
+        f_device, __, __ = comparison["fragment"]
+        v_bytes = v_device.ctx.stats.buffer_upload_bytes
+        f_bytes = (f_device.ctx.stats.texture_upload_bytes
+                   + f_device.ctx.stats.buffer_upload_bytes)
+        assert v_bytes > 2 * f_bytes
+
+    def test_fragment_wins_end_to_end(self, comparison):
+        __, __, v_time = comparison["vertex"]
+        __, __, f_time = comparison["fragment"]
+        assert f_time.total_seconds < v_time.total_seconds

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Black-Scholes option pricing — a transcendental-heavy float kernel.
+
+The classic GPGPU showcase of the early-GPGPU era the paper builds on:
+one European call option priced per fragment.  Exercises the SFU path
+(exp/log/sqrt) under the ``videocore`` precision model, and prints the
+roofline placement of the kernel.
+
+Run:  python examples/black_scholes.py
+"""
+
+import numpy as np
+
+from repro import GpgpuDevice
+from repro.perf.roofline import analyze_context, format_roofline
+from repro.validation import precision_report
+
+# Abramowitz & Stegun polynomial CDF approximation (the form every
+# classic GPU Black-Scholes kernel used — only +,*,exp, one divide).
+CND_PREAMBLE = """
+float cnd(float d) {
+    float k = 1.0 / (1.0 + 0.2316419 * abs(d));
+    float poly = k * (0.319381530 + k * (-0.356563782 + k * (1.781477937
+        + k * (-1.821255978 + k * 1.330274429))));
+    float w = 1.0 - 0.39894228040 * exp(-0.5 * d * d) * poly;
+    return d < 0.0 ? 1.0 - w : w;
+}
+"""
+
+BODY = """
+float sqrt_t = sqrt(t);
+float d1 = (log(s / u_strike) + (u_rate + 0.5 * u_vol * u_vol) * t)
+    / (u_vol * sqrt_t);
+float d2 = d1 - u_vol * sqrt_t;
+result = s * cnd(d1) - u_strike * exp(-u_rate * t) * cnd(d2);
+"""
+
+
+def cnd_cpu(d):
+    k = 1.0 / (1.0 + 0.2316419 * np.abs(d))
+    poly = k * (0.319381530 + k * (-0.356563782 + k * (1.781477937
+        + k * (-1.821255978 + k * 1.330274429))))
+    w = 1.0 - 0.39894228040 * np.exp(-0.5 * d * d) * poly
+    return np.where(d < 0, 1.0 - w, w)
+
+
+def black_scholes_cpu(s, t, strike, rate, vol):
+    sqrt_t = np.sqrt(t)
+    d1 = (np.log(s / strike) + (rate + 0.5 * vol**2) * t) / (vol * sqrt_t)
+    d2 = d1 - vol * sqrt_t
+    return s * cnd_cpu(d1) - strike * np.exp(-rate * t) * cnd_cpu(d2)
+
+
+def main():
+    n = 4096
+    rng = np.random.default_rng(7)
+    spot = rng.uniform(10, 100, n).astype(np.float32)
+    expiry = rng.uniform(0.25, 2.0, n).astype(np.float32)
+    strike, rate, vol = 50.0, 0.02, 0.30
+
+    device = GpgpuDevice(float_model="videocore")
+    kernel = device.kernel(
+        "black_scholes",
+        inputs=[("s", "float32"), ("t", "float32")],
+        output="float32",
+        body=BODY,
+        uniforms=[("u_strike", "float"), ("u_rate", "float"),
+                  ("u_vol", "float")],
+        preamble=CND_PREAMBLE,
+    )
+    out = device.empty(n, "float32")
+    kernel(
+        out,
+        {"s": device.array(spot), "t": device.array(expiry)},
+        {"u_strike": strike, "u_rate": rate, "u_vol": vol},
+    )
+    gpu_prices = out.to_host()
+
+    cpu_prices = black_scholes_cpu(
+        spot.astype(np.float64), expiry.astype(np.float64),
+        strike, rate, vol,
+    )
+    report = precision_report(cpu_prices, gpu_prices)
+    print(f"priced {n} European calls on the GPU (videocore model)")
+    print(f"  example: S={spot[0]:.2f} T={expiry[0]:.2f}y "
+          f"-> C={gpu_prices[0]:.4f} (CPU {cpu_prices[0]:.4f})")
+    print(f"  {report}")
+
+    print()
+    print("roofline placement:")
+    print(format_roofline(analyze_context(device.ctx.stats)))
+
+    print()
+    print("modeled VideoCore IV wall time:")
+    print(device.wall_time().breakdown())
+
+
+if __name__ == "__main__":
+    main()

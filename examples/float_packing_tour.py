@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""A guided tour of the paper's §IV float transformations.
+
+Walks one float value through every stage: IEEE 754 bits, the Figure 2
+CPU-side bit rearrangement, the four texture bytes, the shader-side
+reconstruction, and the pack back into framebuffer bytes — printing
+each intermediate so you can follow the paper's math on real numbers.
+
+Run:  python examples/float_packing_tour.py [value]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.numerics import (
+    float_bits_to_gpu_word,
+    pack_float,
+    shader_pack_float,
+    shader_unpack_float,
+    texel_to_float,
+    unpack_float,
+)
+from repro.experiments.fig2 import format_fig2_rows, run_fig2_layout
+
+
+def tour(value: float):
+    as32 = np.float32(value)
+    bits = int(np.array([as32], dtype="<f4").view("<u4")[0])
+    print(f"value            : {as32!r}")
+    print(f"IEEE 754 bits    : 0x{bits:08x}")
+    print(f"  sign           : {bits >> 31}")
+    print(f"  biased exponent: {(bits >> 23) & 0xFF}")
+    print(f"  mantissa       : 0x{bits & 0x7FFFFF:06x}")
+
+    gpu_word = int(float_bits_to_gpu_word(np.array([bits], dtype=np.uint32))[0])
+    print(f"Fig. 2 GPU word  : 0x{gpu_word:08x}  (exponent now fills byte 3)")
+
+    texels = pack_float(np.array([as32], dtype=np.float32))
+    print(f"texture bytes    : R={texels[0,0]} G={texels[0,1]} "
+          f"B={texels[0,2]} A={texels[0,3]}")
+
+    # What the shader sees (eq. (1)) and reconstructs (§IV-E).
+    shader_floats = texel_to_float(texels)
+    print(f"shader texel     : {np.round(shader_floats[0], 6)}")
+    reconstructed = shader_unpack_float(shader_floats)[0]
+    print(f"reconstructed    : {reconstructed!r}")
+
+    # And back out through the framebuffer (§IV-E reverse + eq. (2)).
+    outputs = shader_pack_float(np.array([reconstructed]))
+    out_bytes = np.floor(np.clip(outputs, 0, 1) * 255 + 0.5).astype(np.uint8)
+    recovered = unpack_float(out_bytes.reshape(1, 4))[0]
+    print(f"framebuffer bytes: {list(out_bytes[0])}")
+    print(f"recovered        : {recovered!r}")
+    exact = np.float32(recovered) == as32
+    print(f"round trip exact : {exact}")
+
+
+def main():
+    if len(sys.argv) > 1:
+        tour(float(sys.argv[1]))
+        return
+    for value in (3.14159274, -0.15625, 1e-20):
+        tour(value)
+        print("-" * 60)
+    print("\nFigure 2 byte-layout table for representative values:\n")
+    print(format_fig2_rows(run_fig2_layout()))
+
+
+if __name__ == "__main__":
+    main()

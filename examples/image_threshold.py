@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Image processing on byte data: adaptive threshold + box blur.
+
+The motivating use case for GPGPU on phones in the paper's intro:
+image-processing workloads.  This one stays in the natural uint8
+domain (§IV-A) and chains two kernels through a Pipeline, letting the
+challenge-(7) readback ordering keep the final result framebuffer-
+resident (no copy pass).
+
+Run:  python examples/image_threshold.py
+"""
+
+import numpy as np
+
+from repro import GpgpuDevice, Pipeline
+
+
+def synthetic_image(size: int = 64) -> np.ndarray:
+    """A grey-level test card: gradient + bright blob + dark stripe."""
+    y, x = np.mgrid[0:size, 0:size]
+    image = (x * 255 / size).astype(np.float64)
+    blob = 180 * np.exp(-(((x - 20) ** 2 + (y - 20) ** 2) / 60))
+    image = np.clip(image + blob, 0, 255)
+    image[:, size // 2 : size // 2 + 4] = 10
+    return image.astype(np.uint8)
+
+
+def main():
+    size = 64
+    image = synthetic_image(size)
+    device = GpgpuDevice(float_model="ieee32")
+
+    # Kernel 1: 3x1 horizontal box blur (gather kernel on bytes).
+    blur = device.kernel(
+        "box_blur",
+        inputs=[("img", "uint8")],
+        output="uint8",
+        body="""
+float width = u_width;
+float row = floor(gpgpu_index / width);
+float col = mod(gpgpu_index, width);
+float left = col > 0.0 ? fetch_img(gpgpu_index - 1.0) : fetch_img(gpgpu_index);
+float mid = fetch_img(gpgpu_index);
+float right = col < width - 1.0 ? fetch_img(gpgpu_index + 1.0) : mid;
+result = floor((left + mid + right) / 3.0);
+""",
+        uniforms=[("u_width", "float")],
+        mode="gather",
+    )
+
+    # Kernel 2: binary threshold.
+    threshold = device.kernel(
+        "threshold",
+        inputs=[("img", "uint8")],
+        output="uint8",
+        body="result = img >= u_cut ? 255.0 : 0.0;",
+        uniforms=[("u_cut", "float")],
+    )
+
+    source = device.array(image.reshape(-1))
+    blurred = device.empty(size * size, "uint8")
+    binary = device.empty(size * size, "uint8")
+
+    pipeline = Pipeline(device)
+    pipeline.add(blur, blurred, {"img": source}, {"u_width": float(size)})
+    pipeline.add(threshold, binary, {"img": blurred}, {"u_cut": 128.0})
+    pipeline.run()
+
+    result = binary.to_host().reshape(size, size)
+
+    # CPU reference for validation.
+    padded = image.astype(np.float64)
+    left = np.concatenate([padded[:, :1], padded[:, :-1]], axis=1)
+    right = np.concatenate([padded[:, 1:], padded[:, -1:]], axis=1)
+    cpu_blur = np.floor((left + padded + right) / 3.0)
+    cpu_binary = np.where(cpu_blur >= 128, 255, 0).astype(np.uint8)
+    assert np.array_equal(result, cpu_binary), "GPU thresholding mismatch!"
+
+    white = (result == 255).mean() * 100
+    print(f"{size}x{size} image blurred + thresholded on the GPU")
+    print(f"  white pixels: {white:.1f}%  (validated against CPU, exact)")
+
+    # Render a small ASCII preview of the binary mask.
+    step = size // 16
+    print()
+    for row in range(0, size, step * 2):
+        line = "".join(
+            "#" if result[row, col] else "." for col in range(0, size, step)
+        )
+        print("  " + line)
+
+    print()
+    print("modeled VideoCore IV wall time:")
+    print(device.wall_time().breakdown())
+
+
+if __name__ == "__main__":
+    main()

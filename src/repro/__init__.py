@@ -1,0 +1,58 @@
+"""repro — General-purpose computations on low-end mobile GPUs.
+
+A full reproduction of Trompouki & Kosmidis, *"Towards General Purpose
+Computations on Low-End Mobile GPUs"* (DATE 2016): a GPGPU programming
+framework that runs arbitrary-format numeric kernels over the OpenGL
+ES 2 graphics API, together with the complete substrate it needs —
+a software OpenGL ES 2 implementation (:mod:`repro.gles2`), a GLSL ES
+1.00 compiler front end and interpreter (:mod:`repro.glsl`), and a
+VideoCore IV / ARM11 performance model (:mod:`repro.perf`) standing in
+for the paper's Raspberry Pi.
+
+Quick start::
+
+    import numpy as np
+    from repro import GpgpuDevice
+
+    dev = GpgpuDevice()
+    add = dev.kernel(
+        "sum",
+        inputs=[("a", "int32"), ("b", "int32")],
+        output="int32",
+        body="result = a + b;",
+    )
+    a = dev.array(np.arange(1024, dtype=np.int32))
+    b = dev.array(np.ones(1024, dtype=np.int32))
+    out = dev.empty(1024, "int32")
+    add(out, {"a": a, "b": b})
+    print(out.to_host()[:4])   # [1 2 3 4]
+"""
+
+from .core import (
+    FORMATS,
+    GpgpuDevice,
+    GpgpuError,
+    GpuArray,
+    Kernel,
+    MultiOutputKernel,
+    NumericFormat,
+    Pipeline,
+    ShaderBuildError,
+    get_format,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GpgpuDevice",
+    "GpuArray",
+    "Kernel",
+    "MultiOutputKernel",
+    "Pipeline",
+    "GpgpuError",
+    "ShaderBuildError",
+    "FORMATS",
+    "NumericFormat",
+    "get_format",
+    "__version__",
+]

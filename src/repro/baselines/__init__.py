@@ -1,0 +1,19 @@
+"""CPU baseline implementations (the paper's comparison points)."""
+
+from .cpu_kernels import (
+    cpu_saxpy,
+    cpu_sgemm,
+    cpu_sum,
+    saxpy_workload,
+    sgemm_workload,
+    sum_workload,
+)
+
+__all__ = [
+    "cpu_sum",
+    "cpu_sgemm",
+    "cpu_saxpy",
+    "sum_workload",
+    "sgemm_workload",
+    "saxpy_workload",
+]

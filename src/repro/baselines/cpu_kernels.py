@@ -1,0 +1,135 @@
+"""CPU reference kernels and their ARM11 operation inventories.
+
+Each benchmark has two pieces:
+
+* a numerical reference (numpy) used to validate GPU results — the
+  paper: "we validate the results with the CPU";
+* an analytic :class:`~repro.perf.cpu_model.CpuWorkload` describing
+  what the straightforward C loop the paper's baseline compiles to
+  would execute per element, which the ARM11 model prices into time.
+
+The inventories model the plain scalar loops of the era (no NEON —
+ARM11 predates it; VFP for floats):
+
+``sum`` (``for i: c[i] = a[i] + b[i]``)
+    per element: 2 loads + 1 store, 1 add, ~2 loop-overhead ops
+    (increment + branch), 12 bytes of compulsory DRAM traffic.
+
+``sgemm`` (three nested loops, ``c = alpha*a@b + beta*c``)
+    per inner iteration: 2 loads, 1 multiply + 1 add, ~2 overhead ops.
+    DRAM traffic: A streams once per j-column (n^3 * 4 / 8 effective
+    with 32-byte lines on row-major A), B misses on every access in
+    the naive loop (column stride), amortised by line reuse across
+    the j loop -> modeled as n^3 * 4 / line_reuse with reuse 8.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..perf.cpu_model import CpuWorkload
+
+_BYTES = 4  # all paper formats are 4-byte in CPU memory (int32/float32)
+
+
+# ----------------------------------------------------------------------
+# sum
+# ----------------------------------------------------------------------
+def cpu_sum(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference result of the sum benchmark (elementwise add)."""
+    return a + b
+
+
+def sum_workload(n: int, is_float: bool) -> CpuWorkload:
+    """ARM11 op inventory of the C sum loop over n elements."""
+    return CpuWorkload(
+        int_ops=0.0 if is_float else float(n),
+        fp_ops=float(n) if is_float else 0.0,
+        load_store_ops=3.0 * n,
+        dram_bytes=3.0 * n * _BYTES,
+        overhead_ops=2.0 * n,
+    )
+
+
+# ----------------------------------------------------------------------
+# saxpy
+# ----------------------------------------------------------------------
+def cpu_saxpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return alpha * x + y
+
+
+def saxpy_workload(n: int) -> CpuWorkload:
+    return CpuWorkload(
+        fp_ops=2.0 * n,
+        load_store_ops=3.0 * n,
+        dram_bytes=3.0 * n * _BYTES,
+        overhead_ops=2.0 * n,
+    )
+
+
+# ----------------------------------------------------------------------
+# sgemm
+# ----------------------------------------------------------------------
+def cpu_sgemm(
+    alpha: float,
+    a: np.ndarray,
+    b: np.ndarray,
+    beta: float,
+    c: np.ndarray,
+    integer: bool = False,
+) -> np.ndarray:
+    """Reference sgemm: ``alpha * a @ b + beta * c``.
+
+    With ``integer=True`` the accumulation happens in int64 and the
+    result wraps to int32 (what the C int baseline computes).
+    """
+    if integer:
+        acc = a.astype(np.int64) @ b.astype(np.int64)
+        result = int(alpha) * acc + int(beta) * c.astype(np.int64)
+        return result.astype(np.int32)
+    return (alpha * (a.astype(np.float64) @ b.astype(np.float64))
+            + beta * c.astype(np.float64)).astype(a.dtype)
+
+
+def sgemm_workload(n: int, is_float: bool, line_reuse: float = 8.0) -> CpuWorkload:
+    """ARM11 op inventory of the naive triple loop for n x n sgemm.
+
+    The overhead term models what the compiler actually emits for
+    ``c[i*n+j] += a[i*n+k] * b[k*n+j]``: two index multiplies, two
+    adds, the k increment and the loop compare/branch — about 5-6
+    integer ops per inner iteration on an in-order ARM11.
+    """
+    inner = float(n) ** 3
+    arith = 2.0 * inner + 3.0 * n * n  # madd loop + alpha/beta epilogue
+    return CpuWorkload(
+        int_ops=0.0 if is_float else arith,
+        fp_ops=arith if is_float else 0.0,
+        load_store_ops=2.0 * inner + 2.0 * n * n,
+        # A row reused along k (cached), B column-strided (one miss per
+        # line_reuse accesses after blocking by the hardware line), C
+        # streamed once.
+        dram_bytes=(inner / line_reuse + inner / line_reuse + 3.0 * n * n) * _BYTES,
+        overhead_ops=5.5 * inner,
+    )
+
+
+def random_matrices(
+    n: int, dtype, seed: int = 2016, low: int = -1024, high: int = 1024
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The paper's "random-value elements" inputs, sized so integer
+    sgemm accumulations stay within the fp32 24-bit envelope."""
+    rng = np.random.default_rng(seed)
+    dtype = np.dtype(dtype)
+    if dtype.kind in "iu":
+        # |sum_k a*b| <= n * low*high; keep within 2^23.
+        bound = int(max(2, np.sqrt(2**22 / max(n, 1))))
+        a = rng.integers(-bound, bound, (n, n)).astype(dtype)
+        b = rng.integers(-bound, bound, (n, n)).astype(dtype)
+        c = rng.integers(-bound, bound, (n, n)).astype(dtype)
+    else:
+        a = rng.standard_normal((n, n)).astype(dtype)
+        b = rng.standard_normal((n, n)).astype(dtype)
+        c = rng.standard_normal((n, n)).astype(dtype)
+    return a, b, c

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: GPGPU on OpenGL ES 2.
+
+Subpackages:
+
+* :mod:`repro.core.numerics` — the §IV numeric transformations;
+* :mod:`repro.core.codegen` — GLSL generation for the §III solutions;
+* :mod:`repro.core.api` — the user-facing framework
+  (:class:`GpgpuDevice`, :class:`GpuArray`, :class:`Kernel`,
+  :class:`Pipeline`).
+"""
+
+from .api import (
+    GpgpuDevice,
+    GpgpuError,
+    GpuArray,
+    Kernel,
+    MultiOutputKernel,
+    Pipeline,
+    ShaderBuildError,
+)
+from .numerics import FORMATS, NumericFormat, get_format
+
+__all__ = [
+    "GpgpuDevice",
+    "GpuArray",
+    "Kernel",
+    "MultiOutputKernel",
+    "Pipeline",
+    "GpgpuError",
+    "ShaderBuildError",
+    "FORMATS",
+    "NumericFormat",
+    "get_format",
+]

@@ -1,0 +1,19 @@
+"""The public GPGPU framework API (paper §III put together)."""
+
+from .buffer import GpuArray, texture_shape
+from .device import GpgpuDevice
+from .errors import GpgpuError, ShaderBuildError
+from .kernel import Kernel, MultiOutputKernel
+from .pipeline import Pipeline, PipelineStep
+
+__all__ = [
+    "GpgpuDevice",
+    "GpuArray",
+    "texture_shape",
+    "Kernel",
+    "MultiOutputKernel",
+    "Pipeline",
+    "PipelineStep",
+    "GpgpuError",
+    "ShaderBuildError",
+]

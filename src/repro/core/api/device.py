@@ -1,0 +1,249 @@
+"""GpgpuDevice: the top of the public API.
+
+Owns the simulated GL context, builds programs with proper error
+surfacing, allocates :class:`GpuArray` storage, constructs kernels,
+implements both challenge-(7) readback strategies, and exposes the
+performance-model wall clock for benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ...gles2 import GLES2Context, enums as gl
+from ...gles2.precision import FloatModel
+from ...perf.machines import GpuParameters, VIDEOCORE_IV_GPU
+from ...perf.wallclock import GpuTimeline, gpu_wall_time
+from ..codegen.templates import (
+    COPY_FRAGMENT_SHADER,
+    FULLSCREEN_QUAD_VERTICES,
+    PASSTHROUGH_VERTEX_SHADER,
+)
+from .buffer import GpuArray
+from .errors import GpgpuError, ShaderBuildError
+from .kernel import Kernel, MultiOutputKernel
+
+
+class GpgpuDevice:
+    """A general-purpose compute device on top of OpenGL ES 2.
+
+    Parameters
+    ----------
+    float_model:
+        Device arithmetic model: ``"exact"`` (float64 reference),
+        ``"ieee32"`` or ``"videocore"`` (reduced-precision, matching
+        the paper's observed 15-bit band).
+    quantization:
+        Framebuffer byte conversion: ``"round"`` (GL ES spec) or
+        ``"floor"`` (the paper's printed eq. (2)).
+    machine:
+        GPU timing parameters for :meth:`wall_time`.
+    """
+
+    def __init__(
+        self,
+        float_model: Union[str, FloatModel] = "ieee32",
+        quantization: str = "round",
+        machine: GpuParameters = VIDEOCORE_IV_GPU,
+        strict_errors: bool = True,
+        max_loop_iterations: int = 65536,
+    ):
+        self.ctx = GLES2Context(
+            width=1,
+            height=1,
+            float_model=float_model,
+            quantization=quantization,
+            strict_errors=strict_errors,
+            max_loop_iterations=max_loop_iterations,
+        )
+        self.machine = machine
+        #: The array whose texture is attached to the currently bound
+        #: FBO with freshly rendered contents (challenge 7 tracking).
+        self.fb_resident: Optional[GpuArray] = None
+        #: Ablation switch: force the copy-shader readback path even
+        #: when a direct read would do.
+        self.force_copy_readback = False
+        self._copy_program: Optional[int] = None
+        self._scratch: Dict[Tuple[int, int], GpuArray] = {}
+
+    # ------------------------------------------------------------------
+    # Program building
+    # ------------------------------------------------------------------
+    def build_program(self, vertex_source: str, fragment_source: str) -> int:
+        """Compile and link a program, raising ShaderBuildError with
+        the info log on failure."""
+        ctx = self.ctx
+        vs = ctx.glCreateShader(gl.GL_VERTEX_SHADER)
+        ctx.glShaderSource(vs, vertex_source)
+        ctx.glCompileShader(vs)
+        if not ctx.glGetShaderiv(vs, gl.GL_COMPILE_STATUS):
+            raise ShaderBuildError(
+                "vertex shader failed to compile",
+                ctx.glGetShaderInfoLog(vs),
+                vertex_source,
+            )
+        fs = ctx.glCreateShader(gl.GL_FRAGMENT_SHADER)
+        ctx.glShaderSource(fs, fragment_source)
+        ctx.glCompileShader(fs)
+        if not ctx.glGetShaderiv(fs, gl.GL_COMPILE_STATUS):
+            raise ShaderBuildError(
+                "fragment shader failed to compile",
+                ctx.glGetShaderInfoLog(fs),
+                fragment_source,
+            )
+        program = ctx.glCreateProgram()
+        ctx.glAttachShader(program, vs)
+        ctx.glAttachShader(program, fs)
+        ctx.glLinkProgram(program)
+        if not ctx.glGetProgramiv(program, gl.GL_LINK_STATUS):
+            raise ShaderBuildError(
+                "program failed to link",
+                ctx.glGetProgramInfoLog(program),
+                fragment_source,
+            )
+        return program
+
+    # ------------------------------------------------------------------
+    # Arrays
+    # ------------------------------------------------------------------
+    def empty(self, length: int, fmt) -> GpuArray:
+        """Allocate an uninitialised array."""
+        return GpuArray(self, length, fmt)
+
+    def array(self, host: np.ndarray, fmt=None) -> GpuArray:
+        """Allocate and upload a host array (format inferred from its
+        dtype when not given)."""
+        host = np.asarray(host)
+        if fmt is None:
+            fmt = host.dtype.name
+        out = GpuArray(self, host.reshape(-1).shape[0], fmt)
+        out.upload(host)
+        return out
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def kernel(
+        self,
+        name: str,
+        inputs: Sequence[Tuple[str, object]],
+        output: object,
+        body: str,
+        uniforms: Sequence[Tuple[str, str]] = (),
+        mode: str = "map",
+        preamble: str = "",
+    ) -> Kernel:
+        """Create and compile a single-output kernel."""
+        return Kernel(
+            self, name, inputs, output, body,
+            uniforms=uniforms, mode=mode, preamble=preamble,
+        )
+
+    def vertex_kernel(
+        self,
+        name: str,
+        inputs: Sequence[Tuple[str, object]],
+        output: object,
+        body: str,
+        uniforms: Sequence[Tuple[str, str]] = (),
+        preamble: str = "",
+    ):
+        """Create a kernel that computes in the *vertex* stage
+        (§III-1's other option) — inputs come from host arrays as
+        normalised byte attributes; map semantics only."""
+        from .vertex_kernel import VertexKernel
+
+        return VertexKernel(
+            self, name, inputs, output, body,
+            uniforms=uniforms, preamble=preamble,
+        )
+
+    def multi_output_kernel(
+        self,
+        name: str,
+        inputs: Sequence[Tuple[str, object]],
+        outputs: Sequence[object],
+        body: str,
+        uniforms: Sequence[Tuple[str, str]] = (),
+        mode: str = "map",
+        preamble: str = "",
+    ) -> MultiOutputKernel:
+        """Create a multi-output kernel (split per challenge 8)."""
+        return MultiOutputKernel(
+            self, name, inputs, outputs, body,
+            uniforms=uniforms, mode=mode, preamble=preamble,
+        )
+
+    # ------------------------------------------------------------------
+    # Readback (challenge 7)
+    # ------------------------------------------------------------------
+    def read_framebuffer(self, array: GpuArray) -> np.ndarray:
+        """Direct glReadPixels from the array's own framebuffer."""
+        ctx = self.ctx
+        ctx.glBindFramebuffer(gl.GL_FRAMEBUFFER, array.framebuffer())
+        pixels = ctx.glReadPixels(
+            0, 0, array.width, array.height, gl.GL_RGBA, gl.GL_UNSIGNED_BYTE
+        )
+        return pixels
+
+    def copy_texture_and_read(self, array: GpuArray) -> np.ndarray:
+        """The fallback readback: render the texture into a scratch
+        framebuffer with a pass-through fragment shader, then read."""
+        ctx = self.ctx
+        if self._copy_program is None:
+            self._copy_program = self.build_program(
+                PASSTHROUGH_VERTEX_SHADER, COPY_FRAGMENT_SHADER
+            )
+        scratch = self._scratch_like(array)
+        ctx.glUseProgram(self._copy_program)
+        ctx.glBindFramebuffer(gl.GL_FRAMEBUFFER, scratch.framebuffer())
+        ctx.glViewport(0, 0, array.width, array.height)
+        ctx.glActiveTexture(gl.GL_TEXTURE0)
+        ctx.glBindTexture(gl.GL_TEXTURE_2D, array.texture)
+        ctx.glUniform1i(
+            ctx.glGetUniformLocation(self._copy_program, "u_source"), 0
+        )
+        loc = ctx.glGetAttribLocation(self._copy_program, "a_position")
+        ctx.glEnableVertexAttribArray(loc)
+        ctx.glVertexAttribPointer(
+            loc, 2, gl.GL_FLOAT, False, 0, FULLSCREEN_QUAD_VERTICES
+        )
+        ctx.glDrawArrays(gl.GL_TRIANGLES, 0, 6)
+        pixels = ctx.glReadPixels(
+            0, 0, array.width, array.height, gl.GL_RGBA, gl.GL_UNSIGNED_BYTE
+        )
+        self.fb_resident = None  # scratch now owns the framebuffer
+        return pixels
+
+    def _scratch_like(self, array: GpuArray) -> GpuArray:
+        key = (array.width, array.height)
+        scratch = self._scratch.get(key)
+        if scratch is None:
+            scratch = GpuArray(
+                self, array.texel_count, "uint8",
+                shape=(array.width, array.height),
+            )
+            self._scratch[key] = scratch
+        return scratch
+
+    # ------------------------------------------------------------------
+    # Performance model
+    # ------------------------------------------------------------------
+    def wall_time(self) -> GpuTimeline:
+        """Modeled application wall time of everything this device has
+        executed since the last reset (paper §V methodology: includes
+        transfers and kernel compilation)."""
+        return gpu_wall_time(self.ctx.stats, self.machine)
+
+    def reset_stats(self) -> None:
+        self.ctx.stats.reset()
+
+    # ------------------------------------------------------------------
+    def precision_info(self) -> Tuple[Tuple[int, int], int]:
+        """glGetShaderPrecisionFormat for highp float — the §IV-E probe
+        for the device float format."""
+        return self.ctx.glGetShaderPrecisionFormat(
+            gl.GL_FRAGMENT_SHADER, gl.GL_HIGH_FLOAT
+        )

@@ -1,0 +1,26 @@
+"""Errors raised by the GPGPU framework API."""
+
+from __future__ import annotations
+
+
+class GpgpuError(Exception):
+    """Base class for framework-level errors (bad arguments, format
+    mismatches, using a released resource)."""
+
+
+class ShaderBuildError(GpgpuError):
+    """Generated GLSL failed to compile or link — carries the driver
+    info log and the offending source for debugging."""
+
+    def __init__(self, message: str, info_log: str = "", source: str = ""):
+        detail = message
+        if info_log:
+            detail += "\n" + info_log.rstrip()
+        if source:
+            numbered = "\n".join(
+                f"{i + 1:4d} | {line}" for i, line in enumerate(source.split("\n"))
+            )
+            detail += "\n--- generated source ---\n" + numbered
+        super().__init__(detail)
+        self.info_log = info_log
+        self.source = source

@@ -1,0 +1,91 @@
+"""Kernel pipelines with readback-order optimisation (challenge 7).
+
+A :class:`Pipeline` is an ordered list of kernel launches.  Because
+ES 2 can only read data back from the *currently framebuffer-attached*
+texture, the order of kernels determines whether the final result
+needs an extra copy pass: "with careful kernel ordering the texture to
+be read can be already mapped into the framebuffer, so that there is
+no need for the additional shader" (§III-7).
+
+``Pipeline.run`` executes the steps in order and returns the output of
+the last step; reading that output immediately afterwards uses the
+direct path.  Set ``force_copy_readback`` on the device to measure the
+unoptimised alternative (the E5 ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .buffer import GpuArray
+from .errors import GpgpuError
+from .kernel import Kernel
+
+
+@dataclass
+class PipelineStep:
+    """One kernel launch within a pipeline."""
+
+    kernel: Kernel
+    out: GpuArray
+    inputs: Dict[str, GpuArray] = field(default_factory=dict)
+    uniforms: Dict[str, object] = field(default_factory=dict)
+
+
+class Pipeline:
+    """An ordered multi-kernel computation."""
+
+    def __init__(self, device):
+        self.device = device
+        self.steps: List[PipelineStep] = []
+
+    def add(
+        self,
+        kernel: Kernel,
+        out: GpuArray,
+        inputs: Optional[Dict[str, GpuArray]] = None,
+        uniforms: Optional[Dict[str, object]] = None,
+    ) -> "Pipeline":
+        """Append a launch.  Returns self for chaining."""
+        if kernel.device is not self.device:
+            raise GpgpuError("kernel belongs to a different device")
+        self.steps.append(
+            PipelineStep(kernel, out, dict(inputs or {}), dict(uniforms or {}))
+        )
+        return self
+
+    def reorder_for_readback(self, final: GpuArray) -> "Pipeline":
+        """Challenge-(7) optimisation: move the step producing
+        ``final`` to the end when data dependences allow, so the
+        result is framebuffer-resident at readback time.
+
+        Steps after the producer that neither read nor write ``final``
+        are independent of it and can run before it.
+        """
+        producer_index = None
+        for i, step in enumerate(self.steps):
+            if step.out is final:
+                producer_index = i
+        if producer_index is None or producer_index == len(self.steps) - 1:
+            return self
+        producer = self.steps[producer_index]
+        tail = self.steps[producer_index + 1 :]
+        for step in tail:
+            touches = step.out is final or any(
+                array is final for array in step.inputs.values()
+            )
+            if touches:
+                return self  # dependence: cannot reorder
+        self.steps = (
+            self.steps[:producer_index] + tail + [producer]
+        )
+        return self
+
+    def run(self) -> Optional[GpuArray]:
+        """Execute all steps in order; returns the last output."""
+        result = None
+        for step in self.steps:
+            step.kernel(step.out, inputs=step.inputs, uniforms=step.uniforms)
+            result = step.out
+        return result

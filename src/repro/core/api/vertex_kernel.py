@@ -1,0 +1,168 @@
+"""VertexKernel: GPGPU in the vertex stage (§III-1, the other option).
+
+Launching renders one GL_POINTS primitive per output element.  Inputs
+are host arrays: the §IV byte layouts are uploaded into a vertex
+buffer and fed to the shader as *normalised unsigned-byte attributes*
+(GL's c/255 attribute normalisation is exactly texture eq. (1), so the
+same unpack GLSL applies).  The VideoCore IV has no vertex texture
+units, so this path cannot gather — it exists for map-style kernels
+and as the §III-1 comparison point; the E9 bench quantifies why the
+fragment path is "the most popular".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...gles2 import enums as gl
+from ..codegen.vertex_stage import generate_vertex_kernel_source
+from ..numerics.formats import get_format
+from .buffer import GpuArray
+from .errors import GpgpuError
+
+
+class VertexKernel:
+    """A map kernel executed in the vertex processing stage."""
+
+    def __init__(
+        self,
+        device,
+        name: str,
+        inputs: Sequence[Tuple[str, object]],
+        output: object,
+        body: str,
+        uniforms: Sequence[Tuple[str, str]] = (),
+        preamble: str = "",
+    ):
+        self.device = device
+        self.name = name
+        self.input_formats = [(iname, get_format(fmt)) for iname, fmt in inputs]
+        self.output_format = get_format(output)
+        self.source = generate_vertex_kernel_source(
+            name=name,
+            inputs=inputs,
+            output_format=output,
+            body=body,
+            uniforms=uniforms,
+            preamble=preamble,
+        )
+        self.program = device.build_program(
+            self.source.vertex, self.source.fragment
+        )
+        ctx = device.ctx
+        self._index_location = ctx.glGetAttribLocation(
+            self.program, "a_gpgpu_index"
+        )
+        self._attribute_locations = {
+            iname: ctx.glGetAttribLocation(self.program, f"a_{iname}")
+            for iname, __ in self.input_formats
+        }
+        self._out_size_location = ctx.glGetUniformLocation(
+            self.program, "u_out_size"
+        )
+        self._user_uniform_types = dict(self.source.user_uniforms)
+        self._uniform_locations = {
+            uname: ctx.glGetUniformLocation(self.program, uname)
+            for uname, __ in self.source.user_uniforms
+        }
+        #: VBOs reused across launches (index stream + one per input).
+        self._index_vbo: Optional[int] = None
+        self._input_vbos: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self,
+        out: GpuArray,
+        inputs: Optional[Dict[str, np.ndarray]] = None,
+        uniforms: Optional[Dict[str, object]] = None,
+    ) -> GpuArray:
+        """Launch: one point per element of ``out``.
+
+        ``inputs`` maps input names to *host* numpy arrays (vertex
+        shaders cannot read textures on this device)."""
+        device = self.device
+        ctx = device.ctx
+        inputs = inputs or {}
+        uniforms = uniforms or {}
+
+        expected = {iname for iname, __ in self.input_formats}
+        if expected != set(inputs):
+            raise GpgpuError(
+                f"vertex kernel '{self.name}' expects inputs "
+                f"{sorted(expected)}, got {sorted(inputs)}"
+            )
+        if out.format.name != self.output_format.name:
+            raise GpgpuError(
+                f"vertex kernel '{self.name}' writes "
+                f"{self.output_format.name}, output array is "
+                f"{out.format.name}"
+            )
+        unknown = set(uniforms) - set(self._user_uniform_types)
+        if unknown:
+            raise GpgpuError(
+                f"unknown uniforms {sorted(unknown)} for vertex kernel "
+                f"'{self.name}'"
+            )
+        n = out.length
+
+        ctx.glUseProgram(self.program)
+        ctx.glBindFramebuffer(gl.GL_FRAMEBUFFER, out.framebuffer())
+        ctx.glViewport(0, 0, out.width, out.height)
+
+        # Index stream attribute.
+        if self._index_vbo is None:
+            (self._index_vbo,) = ctx.glGenBuffers(1)
+        ctx.glBindBuffer(gl.GL_ARRAY_BUFFER, self._index_vbo)
+        index_data = np.arange(n, dtype=np.float32)
+        ctx.glBufferData(gl.GL_ARRAY_BUFFER, index_data, gl.GL_STREAM_DRAW)
+        ctx.glEnableVertexAttribArray(self._index_location)
+        ctx.glVertexAttribPointer(
+            self._index_location, 1, gl.GL_FLOAT, False, 0, 0
+        )
+
+        # Input byte attributes: §IV layout, normalised like eq. (1).
+        for iname, fmt in self.input_formats:
+            host = np.asarray(inputs[iname], dtype=fmt.dtype).reshape(-1)
+            if host.shape[0] != n:
+                raise GpgpuError(
+                    f"input '{iname}' has {host.shape[0]} elements, "
+                    f"output needs {n}"
+                )
+            packed = fmt.host_pack(host)  # (n, 4) uint8
+            vbo = self._input_vbos.get(iname)
+            if vbo is None:
+                (vbo,) = ctx.glGenBuffers(1)
+                self._input_vbos[iname] = vbo
+            ctx.glBindBuffer(gl.GL_ARRAY_BUFFER, vbo)
+            ctx.glBufferData(gl.GL_ARRAY_BUFFER, packed, gl.GL_STREAM_DRAW)
+            location = self._attribute_locations[iname]
+            ctx.glEnableVertexAttribArray(location)
+            ctx.glVertexAttribPointer(
+                location, 4, gl.GL_UNSIGNED_BYTE, True, 0, 0
+            )
+
+        ctx.glUniform2f(self._out_size_location, *out.size_vec2)
+        for uname, value in uniforms.items():
+            utype = self._user_uniform_types[uname]
+            location = self._uniform_locations[uname]
+            if utype == "float":
+                ctx.glUniform1f(location, float(value))
+            elif utype in ("int", "bool"):
+                ctx.glUniform1i(location, int(value))
+            else:
+                raise GpgpuError(
+                    f"vertex kernels support float/int/bool uniforms, "
+                    f"not {utype}"
+                )
+
+        ctx.glDrawArrays(gl.GL_POINTS, 0, n)
+        # Leave the byte attributes disabled so later fragment-kernel
+        # launches (which reuse low attribute slots) see clean state.
+        for location in self._attribute_locations.values():
+            ctx.glDisableVertexAttribArray(location)
+        ctx.glDisableVertexAttribArray(self._index_location)
+        ctx.glBindBuffer(gl.GL_ARRAY_BUFFER, 0)
+        device.fb_resident = out
+        return out

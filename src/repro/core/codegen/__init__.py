@@ -1,0 +1,26 @@
+"""GLSL code generation for GPGPU kernels (§III challenges 1–4, 8 and
+the §IV pack/unpack functions as compilable GLSL)."""
+
+from .glsl_functions import ADDRESSING_GLSL, COMMON_GLSL, FORMAT_GLSL, functions_for
+from .kernelsplit import count_outputs, split_multi_output
+from .templates import (
+    COPY_FRAGMENT_SHADER,
+    FULLSCREEN_QUAD_VERTICES,
+    PASSTHROUGH_VERTEX_SHADER,
+    KernelSource,
+    generate_kernel_source,
+)
+
+__all__ = [
+    "ADDRESSING_GLSL",
+    "COMMON_GLSL",
+    "FORMAT_GLSL",
+    "functions_for",
+    "count_outputs",
+    "split_multi_output",
+    "COPY_FRAGMENT_SHADER",
+    "FULLSCREEN_QUAD_VERTICES",
+    "PASSTHROUGH_VERTEX_SHADER",
+    "KernelSource",
+    "generate_kernel_source",
+]

@@ -1,0 +1,85 @@
+"""Multi-output kernel splitting — challenge (8).
+
+OpenGL ES 2 fragment shaders write a single RGBA output
+(``gl_FragColor`` / ``gl_FragData[0]``; ``gl_MaxDrawBuffers == 1``).
+A GPGPU kernel with k outputs therefore "needs to be split in more
+than one shaders, one per output" (§III-8).
+
+:func:`split_multi_output` performs that transformation textually: the
+author writes one body that assigns ``result0 .. result<k-1>``, and
+the splitter produces k single-output kernel sources, each executing
+the full body but packing only its own output.  The redundant
+recomputation is the real cost of the ES 2 restriction — the paper
+notes most GPGPU kernels (all of Rodinia) have one output, so in
+practice the split is rarely needed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence, Tuple
+
+from .templates import KernelSource, generate_kernel_source
+
+_RESULT_RE = re.compile(r"\bresult(\d+)\b")
+
+
+def count_outputs(body: str) -> int:
+    """Number of distinct ``resultN`` variables a body assigns."""
+    indices = {int(m.group(1)) for m in _RESULT_RE.finditer(body)}
+    if not indices:
+        return 0
+    expected = set(range(max(indices) + 1))
+    missing = expected - indices
+    if missing:
+        raise ValueError(
+            f"multi-output body must use a dense result0..resultN range; "
+            f"missing result{sorted(missing)[0]}"
+        )
+    return len(indices)
+
+
+def split_multi_output(
+    name: str,
+    inputs: Sequence[Tuple[str, object]],
+    output_formats: Sequence[object],
+    body: str,
+    uniforms: Sequence[Tuple[str, str]] = (),
+    mode: str = "map",
+    preamble: str = "",
+) -> List[KernelSource]:
+    """Split a k-output kernel body into k single-output kernels.
+
+    ``body`` assigns ``result0 .. result{k-1}``; output i of the
+    returned list packs ``result{i}`` in ``output_formats[i]``.
+    """
+    k = count_outputs(body)
+    if k == 0:
+        raise ValueError("body assigns no resultN variables")
+    if len(output_formats) != k:
+        raise ValueError(
+            f"body produces {k} outputs but {len(output_formats)} "
+            "output formats were given"
+        )
+    sources = []
+    for i in range(k):
+        declarations = "\n".join(
+            f"float result{j} = 0.0;" for j in range(k)
+        )
+        wrapped = (
+            f"{declarations}\n"
+            f"{{\n{body.strip()}\n}}\n"
+            f"result = result{i};"
+        )
+        sources.append(
+            generate_kernel_source(
+                name=f"{name}.out{i}",
+                inputs=inputs,
+                output_format=output_formats[i],
+                body=wrapped,
+                uniforms=uniforms,
+                mode=mode,
+                preamble=preamble,
+            )
+        )
+    return sources

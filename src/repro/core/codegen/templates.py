@@ -1,0 +1,197 @@
+"""Shader source assembly for GPGPU kernels.
+
+Implements the paper's §III solutions as code generation:
+
+* challenge (1): a pass-through vertex shader (ES 2 has no fixed
+  vertex function, so one must be supplied even though the computation
+  lives in the fragment stage);
+* challenge (2): the fullscreen quad as two triangles;
+* challenges (3)/(4): 1-D index <-> normalised 2-D coordinate helpers;
+* challenges (5)/(6): per-format unpack/pack of kernel inputs and
+  outputs (§IV, via :mod:`repro.core.codegen.glsl_functions`).
+
+A kernel author writes only the inner computation (a GLSL statement
+block assigning ``result``); everything else — samplers, sizes,
+fetch helpers, the main() wrapper — is generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..numerics.formats import NumericFormat, get_format
+from .glsl_functions import functions_for
+
+#: Challenge (1): the pass-through vertex shader.  Its only job is to
+#: forward the quad corner positions and hand the fragment stage a
+#: [0,1]^2 coordinate varying; the camera looks straight at the quad
+#: so no projection is needed (§III-1).
+PASSTHROUGH_VERTEX_SHADER = """
+attribute vec2 a_position;
+varying vec2 v_coord;
+
+void main() {
+    v_coord = a_position * 0.5 + 0.5;
+    gl_Position = vec4(a_position, 0.0, 1.0);
+}
+"""
+
+#: Challenge (2): a screen-covering quad out of two triangles
+#: (ES 2 has no GL_QUADS).  Counter-clockwise winding, NDC corners.
+FULLSCREEN_QUAD_VERTICES = np.array(
+    [
+        [-1.0, -1.0],
+        [1.0, -1.0],
+        [1.0, 1.0],
+        [-1.0, -1.0],
+        [1.0, 1.0],
+        [-1.0, 1.0],
+    ],
+    dtype=np.float32,
+)
+
+#: A fragment shader that copies a texture to the framebuffer — the
+#: first of the two readback strategies of challenge (7).
+COPY_FRAGMENT_SHADER = """
+precision highp float;
+varying vec2 v_coord;
+uniform sampler2D u_source;
+
+void main() {
+    gl_FragColor = texture2D(u_source, v_coord);
+}
+"""
+
+_GLSL_UNIFORM_TYPES = {
+    "float": "float",
+    "int": "int",
+    "bool": "bool",
+    "vec2": "vec2",
+    "vec3": "vec3",
+    "vec4": "vec4",
+    "ivec2": "ivec2",
+    "ivec3": "ivec3",
+    "ivec4": "ivec4",
+    "mat2": "mat2",
+    "mat3": "mat3",
+    "mat4": "mat4",
+}
+
+
+@dataclass
+class KernelSource:
+    """Generated sources plus the uniform names the runtime must set."""
+
+    vertex: str
+    fragment: str
+    input_names: List[str]
+    sampler_uniforms: Dict[str, str]  # input name -> sampler uniform
+    size_uniforms: Dict[str, str]  # input name -> size uniform
+    out_size_uniform: str = "u_out_size"
+    user_uniforms: List[Tuple[str, str]] = field(default_factory=list)
+
+
+def generate_kernel_source(
+    name: str,
+    inputs: Sequence[Tuple[str, object]],
+    output_format: object,
+    body: str,
+    uniforms: Sequence[Tuple[str, str]] = (),
+    mode: str = "map",
+    preamble: str = "",
+) -> KernelSource:
+    """Build the vertex + fragment sources of a GPGPU kernel.
+
+    Parameters
+    ----------
+    name:
+        Kernel name (for error messages and comments).
+    inputs:
+        ``(name, format)`` pairs.  Each input becomes a sampler plus a
+        ``fetch_<name>(float index) -> float`` helper.
+    output_format:
+        Format of the kernel's single output (challenge (8): one
+        output per shader).
+    body:
+        GLSL statements computing ``float result``.  In ``map`` mode
+        each input is pre-fetched into a same-named float variable; in
+        ``gather`` mode the body calls ``fetch_<name>()`` itself.  The
+        output element index is available as ``gpgpu_index``.
+    uniforms:
+        Extra ``(name, glsl_type)`` uniforms for kernel parameters.
+    preamble:
+        Extra GLSL (helper functions, consts) inserted before main().
+    """
+    if mode not in ("map", "gather"):
+        raise ValueError(f"unknown kernel mode '{mode}'")
+    input_formats = [(iname, get_format(fmt)) for iname, fmt in inputs]
+    out_fmt: NumericFormat = get_format(output_format)
+
+    format_names = [fmt.name for __, fmt in input_formats] + [out_fmt.name]
+    helper_block = functions_for(format_names)
+
+    lines: List[str] = [
+        "precision highp float;",
+        f"// GPGPU kernel '{name}' (generated)",
+        "varying vec2 v_coord;",
+        "uniform vec2 u_out_size;",
+    ]
+    sampler_uniforms: Dict[str, str] = {}
+    size_uniforms: Dict[str, str] = {}
+    for iname, __ in input_formats:
+        sampler = f"u_tex_{iname}"
+        size = f"u_size_{iname}"
+        sampler_uniforms[iname] = sampler
+        size_uniforms[iname] = size
+        lines.append(f"uniform sampler2D {sampler};")
+        lines.append(f"uniform vec2 {size};")
+    user_uniforms: List[Tuple[str, str]] = []
+    for uname, utype in uniforms:
+        glsl_type = _GLSL_UNIFORM_TYPES.get(utype)
+        if glsl_type is None:
+            raise ValueError(f"unsupported uniform type '{utype}'")
+        lines.append(f"uniform {glsl_type} {uname};")
+        user_uniforms.append((uname, glsl_type))
+
+    lines.append(helper_block)
+
+    for iname, fmt in input_formats:
+        lines.append(
+            f"float fetch_{iname}(float index) {{\n"
+            f"    vec2 coord = gpgpu_index_to_coord(index, "
+            f"{size_uniforms[iname]});\n"
+            f"    return {fmt.glsl_unpack_name}(texture2D("
+            f"{sampler_uniforms[iname]}, coord));\n"
+            f"}}"
+        )
+
+    if preamble:
+        lines.append(preamble)
+
+    main_lines = [
+        "void main() {",
+        "    float gpgpu_index = gpgpu_coord_to_index(v_coord, u_out_size);",
+    ]
+    if mode == "map":
+        for iname, __ in input_formats:
+            main_lines.append(f"    float {iname} = fetch_{iname}(gpgpu_index);")
+    main_lines.append("    float result = 0.0;")
+    main_lines.append("    {")
+    for body_line in body.strip("\n").split("\n"):
+        main_lines.append("        " + body_line)
+    main_lines.append("    }")
+    main_lines.append(f"    gl_FragColor = {out_fmt.glsl_pack_name}(result);")
+    main_lines.append("}")
+    lines.extend(main_lines)
+
+    return KernelSource(
+        vertex=PASSTHROUGH_VERTEX_SHADER,
+        fragment="\n".join(lines),
+        input_names=[iname for iname, __ in input_formats],
+        sampler_uniforms=sampler_uniforms,
+        size_uniforms=size_uniforms,
+        user_uniforms=user_uniforms,
+    )

@@ -1,0 +1,120 @@
+"""Vertex-stage kernel generation (§III-1's other option).
+
+"The GPGPU computations can be either implemented in the vertex or the
+fragment processing stage (or both), with the fragment one being the
+most popular."  This module generates the less-popular variant: the
+computation runs in the *vertex* shader, one point primitive per
+output element.
+
+The data path differs fundamentally from fragment kernels, and in a
+way that is faithful to the paper's platform: the VideoCore IV exposes
+**zero vertex texture image units** (``gl_MaxVertexTextureImageUnits
+== 0``), so a vertex kernel cannot fetch textures.  Inputs arrive as
+*normalised unsigned-byte attributes* instead — GL divides each byte
+by 255 exactly like texture eq. (1), so the same §IV unpack functions
+work unchanged on attribute data.  Each vertex:
+
+1. unpacks its inputs from vec4 byte attributes,
+2. computes the kernel body,
+3. packs the result into a varying,
+4. positions itself on the output texel's pixel center
+   (``gl_PointSize = 1``),
+
+and a pass-through fragment shader writes the varying out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..numerics.formats import NumericFormat, get_format
+from .glsl_functions import functions_for
+from .templates import KernelSource, _GLSL_UNIFORM_TYPES
+
+#: Fragment side of every vertex-stage kernel: write the packed result.
+VERTEX_KERNEL_FRAGMENT_SHADER = """
+precision highp float;
+varying vec4 v_gpgpu_result;
+
+void main() {
+    gl_FragColor = v_gpgpu_result;
+}
+"""
+
+
+def generate_vertex_kernel_source(
+    name: str,
+    inputs: Sequence[Tuple[str, object]],
+    output_format: object,
+    body: str,
+    uniforms: Sequence[Tuple[str, str]] = (),
+    preamble: str = "",
+) -> KernelSource:
+    """Build the vertex + fragment sources of a vertex-stage kernel.
+
+    Only ``map`` semantics are possible: with no vertex texture units
+    there is nothing to gather from — each vertex sees exactly its own
+    attributes (the restriction is the device's, not ours).
+    """
+    input_formats = [(iname, get_format(fmt)) for iname, fmt in inputs]
+    out_fmt: NumericFormat = get_format(output_format)
+    format_names = [fmt.name for __, fmt in input_formats] + [out_fmt.name]
+
+    lines: List[str] = [
+        f"// GPGPU vertex-stage kernel '{name}' (generated)",
+        "attribute float a_gpgpu_index;",
+        "uniform vec2 u_out_size;",
+        "varying vec4 v_gpgpu_result;",
+    ]
+    attributes: Dict[str, str] = {}
+    for iname, __ in input_formats:
+        attribute = f"a_{iname}"
+        attributes[iname] = attribute
+        lines.append(f"attribute vec4 {attribute};")
+    user_uniforms: List[Tuple[str, str]] = []
+    for uname, utype in uniforms:
+        glsl_type = _GLSL_UNIFORM_TYPES.get(utype)
+        if glsl_type is None:
+            raise ValueError(f"unsupported uniform type '{utype}'")
+        lines.append(f"uniform {glsl_type} {uname};")
+        user_uniforms.append((uname, glsl_type))
+
+    lines.append(functions_for(format_names))
+    if preamble:
+        lines.append(preamble)
+
+    main_lines = [
+        "void main() {",
+        "    float gpgpu_index = a_gpgpu_index;",
+    ]
+    for iname, fmt in input_formats:
+        main_lines.append(
+            f"    float {iname} = {fmt.glsl_unpack_name}"
+            f"({attributes[iname]});"
+        )
+    main_lines.append("    float result = 0.0;")
+    main_lines.append("    {")
+    for body_line in body.strip("\n").split("\n"):
+        main_lines.append("        " + body_line)
+    main_lines.append("    }")
+    main_lines.append(
+        f"    v_gpgpu_result = {out_fmt.glsl_pack_name}(result);"
+    )
+    main_lines.append(
+        "    vec2 coord = gpgpu_index_to_coord(gpgpu_index, u_out_size);"
+    )
+    main_lines.append(
+        "    gl_Position = vec4(coord * 2.0 - 1.0, 0.0, 1.0);"
+    )
+    main_lines.append("    gl_PointSize = 1.0;")
+    main_lines.append("}")
+    lines.extend(main_lines)
+
+    return KernelSource(
+        vertex="\n".join(lines),
+        fragment=VERTEX_KERNEL_FRAGMENT_SHADER,
+        input_names=[iname for iname, __ in input_formats],
+        sampler_uniforms={},
+        size_uniforms={},
+        user_uniforms=user_uniforms,
+    )

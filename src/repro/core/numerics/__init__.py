@@ -1,0 +1,142 @@
+"""Numeric transformations for kernel I/O — the paper's Section IV.
+
+Everything needed to move unsigned/signed chars, 32-bit integers and
+IEEE 754 floats through OpenGL ES 2's unsigned-byte-only textures and
+framebuffers:
+
+* :mod:`repro.core.numerics.delta` — the quantisation equations
+  (1)–(3) and the delta correction;
+* :mod:`repro.core.numerics.bytepack` — unsigned/signed char (§IV-A/B);
+* :mod:`repro.core.numerics.intpack` — unsigned/signed 32-bit integers
+  (§IV-C/D, 24-bit exactness envelope on fp32 GPUs);
+* :mod:`repro.core.numerics.floatpack` — IEEE 754 floats with the
+  Figure 2 CPU-side bit rearrangement (§IV-E);
+* :mod:`repro.core.numerics.formats` — the registry tying host
+  layouts, shader mirrors and GLSL function names together.
+"""
+
+from .delta import (
+    BYTE_LEVELS,
+    BYTE_MAX,
+    DELTA,
+    float_to_texel,
+    reconstruct_byte,
+    texel_to_float,
+)
+from .formats import (
+    ALIASES,
+    FLOAT16,
+    FLOAT32,
+    FORMATS,
+    INT16,
+    INT32,
+    SCHAR,
+    UCHAR,
+    UINT16,
+    UINT32,
+    NumericFormat,
+    get_format,
+)
+from .halfpack import (
+    FP16_MANTISSA_BITS,
+    FP16_MAX,
+    pack_half,
+    pack_int16,
+    pack_uint16,
+    shader_pack_half,
+    shader_pack_int16,
+    shader_pack_uint16,
+    shader_unpack_half,
+    shader_unpack_int16,
+    shader_unpack_uint16,
+    unpack_half,
+    unpack_int16,
+    unpack_uint16,
+)
+from .floatpack import (
+    float_bits_to_gpu_word,
+    gpu_word_to_float_bits,
+    pack_float,
+    shader_pack_float,
+    shader_unpack_float,
+    unpack_float,
+)
+from .intpack import (
+    FLOAT_EXACT_INT_LIMIT,
+    pack_int,
+    pack_uint,
+    shader_pack_int,
+    shader_pack_uint,
+    shader_unpack_int,
+    shader_unpack_uint,
+    unpack_int,
+    unpack_uint,
+)
+from .bytepack import (
+    pack_schar,
+    pack_uchar,
+    shader_pack_schar,
+    shader_pack_uchar,
+    shader_unpack_schar,
+    shader_unpack_uchar,
+    unpack_schar,
+    unpack_uchar,
+)
+
+__all__ = [
+    "FLOAT16",
+    "INT16",
+    "UINT16",
+    "FP16_MANTISSA_BITS",
+    "FP16_MAX",
+    "pack_half",
+    "unpack_half",
+    "pack_uint16",
+    "unpack_uint16",
+    "pack_int16",
+    "unpack_int16",
+    "shader_pack_half",
+    "shader_unpack_half",
+    "shader_pack_uint16",
+    "shader_unpack_uint16",
+    "shader_pack_int16",
+    "shader_unpack_int16",
+    "BYTE_LEVELS",
+    "BYTE_MAX",
+    "DELTA",
+    "float_to_texel",
+    "texel_to_float",
+    "reconstruct_byte",
+    "NumericFormat",
+    "FORMATS",
+    "ALIASES",
+    "get_format",
+    "UCHAR",
+    "SCHAR",
+    "UINT32",
+    "INT32",
+    "FLOAT32",
+    "FLOAT_EXACT_INT_LIMIT",
+    "pack_uchar",
+    "unpack_uchar",
+    "pack_schar",
+    "unpack_schar",
+    "pack_uint",
+    "unpack_uint",
+    "pack_int",
+    "unpack_int",
+    "pack_float",
+    "unpack_float",
+    "float_bits_to_gpu_word",
+    "gpu_word_to_float_bits",
+    "shader_unpack_uchar",
+    "shader_pack_uchar",
+    "shader_unpack_schar",
+    "shader_pack_schar",
+    "shader_unpack_uint",
+    "shader_pack_uint",
+    "shader_unpack_int",
+    "shader_pack_int",
+    "shader_unpack_float",
+    "shader_pack_float",
+]

@@ -1,0 +1,58 @@
+"""The quantisation constants of §IV (equations (1)–(3)).
+
+OpenGL ES 2 sees texture bytes ``c`` in the shader as ``f = c / 255``
+(eq. (1)) and converts fragment outputs back with ``i = f * 255``
+quantised to an integer (eq. (2)).  The paper's eq. (3) derives the
+correction ``delta`` from the mismatch between the 1/255-spaced texel
+values and the 1/256-spaced byte grid; in practice the correction is
+applied as a half-step rounding offset before truncation, which is the
+form all the shader-side transformations in this package use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of representable byte values.
+BYTE_LEVELS = 2**8  # 256
+
+#: Maximum byte value; eq. (1)'s denominator (2^8 - 1).
+BYTE_MAX = BYTE_LEVELS - 1  # 255
+
+#: The paper's delta (eq. (3)): the gap between a 1/255 step and a
+#: 1/256 step.  1/255 + delta = 1/256.
+DELTA = 1.0 / BYTE_LEVELS - 1.0 / BYTE_MAX
+
+#: Half-texel rounding offset used by the robust (rounding) form of
+#: the reconstruction: floor(f * 255 + 0.5).
+ROUNDING_OFFSET = 0.5
+
+
+def texel_to_float(c) -> np.ndarray:
+    """Eq. (1): byte value -> shader float in [0, 1]."""
+    return np.asarray(c, dtype=np.float64) / BYTE_MAX
+
+
+def float_to_texel(f, mode: str = "round") -> np.ndarray:
+    """Eq. (2): clamp to [0,1] and quantise a shader float to a byte.
+
+    ``mode='floor'`` is the paper's printed form; ``mode='round'`` is
+    what the GL ES spec mandates for framebuffer conversion.
+    """
+    clamped = np.clip(np.asarray(f, dtype=np.float64), 0.0, 1.0)
+    if mode == "floor":
+        return np.floor(clamped * BYTE_MAX).astype(np.uint8)
+    if mode == "round":
+        return np.floor(clamped * BYTE_MAX + ROUNDING_OFFSET).astype(np.uint8)
+    raise ValueError(f"unknown quantisation mode '{mode}'")
+
+
+def reconstruct_byte(f) -> np.ndarray:
+    """Eq. (4), rounding form: shader float in [0,1] -> original byte.
+
+    This is the bijective mapping M: because texel floats are exact
+    multiples of 1/255 (possibly perturbed by one ulp of device
+    arithmetic), ``floor(f * 255 + 0.5)`` recovers the byte exactly.
+    """
+    f = np.asarray(f, dtype=np.float64)
+    return np.floor(f * BYTE_MAX + ROUNDING_OFFSET)

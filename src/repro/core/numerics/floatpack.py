@@ -1,0 +1,173 @@
+"""IEEE 754 float transformations (§IV-E, Figure 2).
+
+Floats are the one format whose CPU memory layout cannot go to the GPU
+unmodified: in IEEE 754 the 8 exponent bits straddle bytes 2 and 3
+(byte 3 = sign + exponent[7:1], byte 2 = exponent[0] + mantissa[22:16]).
+The paper's Figure 2 rearrangement swaps the sign bit and the exponent
+LSB so that **byte 3 carries the full biased exponent** and **byte 2's
+MSB carries the sign**:
+
+====  ===========================  ==========================
+byte  CPU (IEEE 754)               GPU layout (Fig. 2)
+====  ===========================  ==========================
+3     s e7 e6 e5 e4 e3 e2 e1       e7 e6 e5 e4 e3 e2 e1 e0
+2     e0 m22 ... m16               s  m22 ... m16
+1     m15 ... m8                   m15 ... m8
+0     m7 ... m0                    m7 ... m0
+====  ===========================  ==========================
+
+The rearrangement is a cheap bit rotation done on the CPU (the paper's
+"partial bit re-arrangements for the floating point data on the CPU");
+everything else happens in the shader.
+
+The paper's printed reconstruction formulas contain typos (the
+``b3 >= 128`` branch and a ``255^i`` radix — see DESIGN.md); we
+implement the semantics consistent with Figure 2 and the text, which
+round-trips bit-exactly (proven by the tests over the full float32
+range, including subnormals when ``preserve_special`` handling is on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .delta import reconstruct_byte
+
+EXPONENT_BIAS = 127
+MANTISSA_BITS = 23
+MANTISSA_SCALE = float(2**MANTISSA_BITS)
+
+
+# ----------------------------------------------------------------------
+# Host side: IEEE 754 bits <-> GPU byte layout (exact, pure bit moves)
+# ----------------------------------------------------------------------
+def float_bits_to_gpu_word(bits: np.ndarray) -> np.ndarray:
+    """IEEE 754 uint32 bit patterns -> Fig. 2 GPU words."""
+    bits = np.asarray(bits, dtype=np.uint32)
+    sign = bits >> np.uint32(31)
+    exponent = (bits >> np.uint32(23)) & np.uint32(0xFF)
+    mantissa = bits & np.uint32(0x7FFFFF)
+    return (exponent << np.uint32(24)) | (sign << np.uint32(23)) | mantissa
+
+
+def gpu_word_to_float_bits(words: np.ndarray) -> np.ndarray:
+    """Fig. 2 GPU words -> IEEE 754 uint32 bit patterns."""
+    words = np.asarray(words, dtype=np.uint32)
+    exponent = words >> np.uint32(24)
+    sign = (words >> np.uint32(23)) & np.uint32(1)
+    mantissa = words & np.uint32(0x7FFFFF)
+    return (sign << np.uint32(31)) | (exponent << np.uint32(23)) | mantissa
+
+
+def pack_float(values: np.ndarray) -> np.ndarray:
+    """float32 host array -> (N, 4) texel bytes in the GPU layout."""
+    values = np.ascontiguousarray(values, dtype="<f4").reshape(-1)
+    words = float_bits_to_gpu_word(values.view("<u4"))
+    return words.astype("<u4").view(np.uint8).reshape(-1, 4).copy()
+
+
+def unpack_float(texels: np.ndarray) -> np.ndarray:
+    """(N, 4) texel bytes -> float32 host array (exact inverse)."""
+    texels = np.ascontiguousarray(texels, dtype=np.uint8).reshape(-1, 4)
+    words = texels.reshape(-1).view("<u4")
+    return gpu_word_to_float_bits(words).view("<f4").copy()
+
+
+# ----------------------------------------------------------------------
+# Shader side (mirrored in numpy): §IV-E reconstruction/decomposition
+# ----------------------------------------------------------------------
+def shader_unpack_float(
+    texel_floats: np.ndarray, preserve_special: bool = True
+) -> np.ndarray:
+    """Reconstruct float values from four [0,1] channel floats.
+
+    Channels are in byte-significance order (R = byte 0 ... A = byte
+    3).  Implements::
+
+        exponent = b3 - 127                      (biased in byte 3)
+        sign     = -1 if b2 >= 128 else +1       (MSB of byte 2)
+        mantissa = (b0 + 256 b1 + 65536 (b2 mod 128)) / 2^23
+        f        = sign * (1 + mantissa) * 2^exponent
+
+    With ``preserve_special`` the encodings for zero (e = 0, treating
+    subnormals as zero: flush-to-zero, like the QPU), infinity and NaN
+    (e = 255) are recognised, "required in high performance and
+    scientific computing" (§IV-E).
+    """
+    bytes_ = reconstruct_byte(np.asarray(texel_floats, dtype=np.float64))
+    b0, b1, b2, b3 = (bytes_[..., i] for i in range(4))
+    sign = np.where(b2 >= 128.0, -1.0, 1.0)
+    mant_high = np.where(b2 >= 128.0, b2 - 128.0, b2)
+    mantissa = (b0 + b1 * 256.0 + mant_high * 65536.0) / MANTISSA_SCALE
+    exponent = b3 - float(EXPONENT_BIAS)
+    value = sign * (1.0 + mantissa) * np.exp2(exponent)
+    if preserve_special:
+        is_zero = (b3 == 0.0) & (mantissa == 0.0)
+        is_subnormal = (b3 == 0.0) & (mantissa != 0.0)
+        is_inf = (b3 == 255.0) & (mantissa == 0.0)
+        is_nan = (b3 == 255.0) & (mantissa != 0.0)
+        value = np.where(is_zero | is_subnormal, sign * 0.0, value)
+        value = np.where(is_inf, sign * np.inf, value)
+        value = np.where(is_nan, np.nan, value)
+    return value
+
+
+def shader_pack_float(
+    values: np.ndarray, preserve_special: bool = True
+) -> np.ndarray:
+    """Decompose float values into four [0,1] channel outputs.
+
+    Implements the §IV-E reverse transform with the robust
+    normalisation guard (``log2`` on a device is approximate; one
+    conditional renormalisation step makes the exponent exact)::
+
+        e = floor(log2(|f|)); p = |f| * 2^-e; renormalise p into [1,2)
+        mantissa = round((p - 1) * 2^23)
+        b3 = e + 127; b2 = sign*128 + mantissa[22:16]; b1; b0
+    """
+    v = np.asarray(values, dtype=np.float64)
+    sign_bit = (np.signbit(v)).astype(np.float64)
+    a = np.abs(v)
+
+    finite = np.isfinite(v)
+    positive = a > 0
+    safe = np.where(positive & finite, a, 1.0)
+
+    exponent = np.floor(np.log2(safe))
+    p = safe * np.exp2(-exponent)
+    # Renormalise against log2 rounding error.
+    too_big = p >= 2.0
+    exponent = np.where(too_big, exponent + 1.0, exponent)
+    p = np.where(too_big, p * 0.5, p)
+    too_small = p < 1.0
+    exponent = np.where(too_small, exponent - 1.0, exponent)
+    p = np.where(too_small, p * 2.0, p)
+
+    exponent = np.clip(exponent, -126.0, 128.0)
+    mantissa = np.floor((p - 1.0) * MANTISSA_SCALE + 0.5)
+    overflow = mantissa >= MANTISSA_SCALE
+    exponent = np.where(overflow, exponent + 1.0, exponent)
+    mantissa = np.where(overflow, 0.0, mantissa)
+
+    b3 = exponent + float(EXPONENT_BIAS)
+    if preserve_special:
+        is_inf = ~finite & ~np.isnan(v)
+        is_nan = np.isnan(v)
+        b3 = np.where(is_inf | is_nan, 255.0, b3)
+        mantissa = np.where(is_inf, 0.0, mantissa)
+        mantissa = np.where(is_nan, 1.0 * 2**22, mantissa)
+        sign_bit = np.where(is_nan, 0.0, sign_bit)
+    # Zero collapses to all-zero bytes.  GLSL cannot distinguish -0.0
+    # from +0.0 with comparisons, so (matching the generated shader
+    # code) the sign of a negative zero is not preserved.
+    is_zero = ~positive
+    b3 = np.where(is_zero & finite, 0.0, b3)
+    mantissa = np.where(is_zero & finite, 0.0, mantissa)
+    sign_bit = np.where(is_zero & finite, 0.0, sign_bit)
+
+    out = np.empty(v.shape + (4,), dtype=np.float64)
+    out[..., 0] = np.mod(mantissa, 256.0)
+    out[..., 1] = np.mod(np.floor(mantissa / 256.0), 256.0)
+    out[..., 2] = np.mod(np.floor(mantissa / 65536.0), 128.0) + sign_bit * 128.0
+    out[..., 3] = b3
+    return out / 255.0

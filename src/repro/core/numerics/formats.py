@@ -1,0 +1,194 @@
+"""The numeric format registry.
+
+One :class:`NumericFormat` per C-language format the paper enables
+(§IV: "unsigned and signed variants of char and integer, as well as
+floating point"), each bundling:
+
+* the host-side byte layout (value array <-> RGBA texel bytes),
+* numpy mirrors of the shader-side transformations (used for
+  validation and for the paper's "same transformations on the CPU are
+  precise" claim),
+* the names of the GLSL functions the code generator emits for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from . import bytepack, floatpack, halfpack, intpack
+
+
+@dataclass(frozen=True)
+class NumericFormat:
+    """Descriptor of one supported kernel I/O format."""
+
+    name: str
+    #: The numpy dtype of host arrays in this format.
+    dtype: np.dtype
+    #: Host array -> (N, 4) RGBA texel bytes.
+    host_pack: Callable[[np.ndarray], np.ndarray]
+    #: (N, 4) RGBA texel bytes -> host array.
+    host_unpack: Callable[[np.ndarray], np.ndarray]
+    #: numpy mirror of the GLSL unpack ((N,4) [0,1] floats -> values).
+    shader_unpack: Callable[[np.ndarray], np.ndarray]
+    #: numpy mirror of the GLSL pack (values -> (N,4) [0,1] floats).
+    shader_pack: Callable[[np.ndarray], np.ndarray]
+    #: GLSL function names emitted by the code generator.
+    glsl_unpack_name: str
+    glsl_pack_name: str
+    #: Whether GPU arithmetic on this format is exact only within the
+    #: fp32 24-bit integer envelope (§IV-C).
+    limited_to_24_bits: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+UCHAR = NumericFormat(
+    name="uint8",
+    dtype=np.dtype(np.uint8),
+    host_pack=bytepack.pack_uchar,
+    host_unpack=bytepack.unpack_uchar,
+    shader_unpack=lambda t: bytepack.shader_unpack_uchar(
+        np.asarray(t)[..., 0]
+    ),
+    shader_pack=lambda v: _r_only(bytepack.shader_pack_uchar(v)),
+    glsl_unpack_name="gpgpu_unpack_uchar",
+    glsl_pack_name="gpgpu_pack_uchar",
+)
+
+SCHAR = NumericFormat(
+    name="int8",
+    dtype=np.dtype(np.int8),
+    host_pack=bytepack.pack_schar,
+    host_unpack=bytepack.unpack_schar,
+    shader_unpack=lambda t: bytepack.shader_unpack_schar(
+        np.asarray(t)[..., 0]
+    ),
+    shader_pack=lambda v: _r_only(bytepack.shader_pack_schar(v)),
+    glsl_unpack_name="gpgpu_unpack_schar",
+    glsl_pack_name="gpgpu_pack_schar",
+)
+
+UINT32 = NumericFormat(
+    name="uint32",
+    dtype=np.dtype(np.uint32),
+    host_pack=intpack.pack_uint,
+    host_unpack=intpack.unpack_uint,
+    shader_unpack=intpack.shader_unpack_uint,
+    shader_pack=intpack.shader_pack_uint,
+    glsl_unpack_name="gpgpu_unpack_uint",
+    glsl_pack_name="gpgpu_pack_uint",
+    limited_to_24_bits=True,
+)
+
+INT32 = NumericFormat(
+    name="int32",
+    dtype=np.dtype(np.int32),
+    host_pack=intpack.pack_int,
+    host_unpack=intpack.unpack_int,
+    shader_unpack=intpack.shader_unpack_int,
+    shader_pack=intpack.shader_pack_int,
+    glsl_unpack_name="gpgpu_unpack_int",
+    glsl_pack_name="gpgpu_pack_int",
+    limited_to_24_bits=True,
+)
+
+UINT16 = NumericFormat(
+    name="uint16",
+    dtype=np.dtype(np.uint16),
+    host_pack=halfpack.pack_uint16,
+    host_unpack=halfpack.unpack_uint16,
+    shader_unpack=halfpack.shader_unpack_uint16,
+    shader_pack=halfpack.shader_pack_uint16,
+    glsl_unpack_name="gpgpu_unpack_uint16",
+    glsl_pack_name="gpgpu_pack_uint16",
+)
+
+INT16 = NumericFormat(
+    name="int16",
+    dtype=np.dtype(np.int16),
+    host_pack=halfpack.pack_int16,
+    host_unpack=halfpack.unpack_int16,
+    shader_unpack=halfpack.shader_unpack_int16,
+    shader_pack=halfpack.shader_pack_int16,
+    glsl_unpack_name="gpgpu_unpack_int16",
+    glsl_pack_name="gpgpu_pack_int16",
+)
+
+FLOAT16 = NumericFormat(
+    name="float16",
+    dtype=np.dtype(np.float16),
+    host_pack=halfpack.pack_half,
+    host_unpack=halfpack.unpack_half,
+    shader_unpack=halfpack.shader_unpack_half,
+    shader_pack=halfpack.shader_pack_half,
+    glsl_unpack_name="gpgpu_unpack_half",
+    glsl_pack_name="gpgpu_pack_half",
+)
+
+FLOAT32 = NumericFormat(
+    name="float32",
+    dtype=np.dtype(np.float32),
+    host_pack=floatpack.pack_float,
+    host_unpack=floatpack.unpack_float,
+    shader_unpack=floatpack.shader_unpack_float,
+    shader_pack=floatpack.shader_pack_float,
+    glsl_unpack_name="gpgpu_unpack_float32",
+    glsl_pack_name="gpgpu_pack_float32",
+)
+
+FORMATS = {
+    "uint8": UCHAR,
+    "int8": SCHAR,
+    "uint16": UINT16,
+    "int16": INT16,
+    "uint32": UINT32,
+    "int32": INT32,
+    "float16": FLOAT16,
+    "float32": FLOAT32,
+}
+
+#: Convenience aliases matching the C names used in the paper.
+ALIASES = {
+    "uchar": "uint8",
+    "unsigned char": "uint8",
+    "schar": "int8",
+    "char": "int8",
+    "ushort": "uint16",
+    "unsigned short": "uint16",
+    "short": "int16",
+    "uint": "uint32",
+    "unsigned int": "uint32",
+    "int": "int32",
+    "half": "float16",
+    "float": "float32",
+}
+
+
+def get_format(name) -> NumericFormat:
+    """Look up a format by name (C aliases accepted) or pass a
+    NumericFormat through."""
+    if isinstance(name, NumericFormat):
+        return name
+    key = ALIASES.get(name, name)
+    try:
+        return FORMATS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown numeric format '{name}' "
+            f"(choose from {sorted(FORMATS)} or aliases {sorted(ALIASES)})"
+        )
+
+
+def _r_only(r_channel: np.ndarray) -> np.ndarray:
+    """Expand an R-channel [0,1] float into an RGBA quadruple with
+    opaque alpha, matching the byte-format GLSL pack functions."""
+    r = np.asarray(r_channel, dtype=np.float64)
+    out = np.zeros(r.shape + (4,), dtype=np.float64)
+    out[..., 0] = r
+    out[..., 3] = 1.0
+    return out

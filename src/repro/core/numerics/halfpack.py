@@ -1,0 +1,197 @@
+"""Half-precision (fp16) and 16-bit integer transformations.
+
+Two extensions beyond the paper's §IV set, both motivated by its text:
+
+* **fp16** — §II-B(5/6): "some vendors provide extensions for half
+  floats, in general it is not enough for general purpose
+  computations."  We implement the fp16 path (two bytes per value, in
+  the R/G channels) so the claim can be *measured*: the E7 benchmark
+  shows fp16's 10-bit mantissa falls far short of the ≥15-bit band the
+  paper's fp32 transformations deliver.
+* **uint16/int16** — the related-work comparison (§VI): Strzodka's
+  VMV'02 system emulated 16-bit integers in a *custom* memory format;
+  here 16-bit integers travel as their natural little-endian 2's
+  complement bytes, same as the paper's 32-bit solution.
+
+Layouts (one value per RGBA texel, value bytes in R/G):
+
+========  =====================================
+byte      fp16 / u16 / s16
+========  =====================================
+R         low byte (mantissa low for fp16)
+G         high byte (sign+exponent+mantissa hi)
+B, A      unused (0 / 255)
+========  =====================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .delta import reconstruct_byte
+
+FP16_EXPONENT_BIAS = 15
+FP16_MANTISSA_BITS = 10
+FP16_MAX = 65504.0
+
+
+# ----------------------------------------------------------------------
+# Host layouts
+# ----------------------------------------------------------------------
+def _pack_two_bytes(raw16: np.ndarray) -> np.ndarray:
+    raw16 = np.ascontiguousarray(raw16, dtype="<u2").reshape(-1)
+    pairs = raw16.view(np.uint8).reshape(-1, 2)
+    texels = np.zeros((pairs.shape[0], 4), dtype=np.uint8)
+    texels[:, :2] = pairs
+    texels[:, 3] = 255
+    return texels
+
+
+def _unpack_two_bytes(texels: np.ndarray) -> np.ndarray:
+    texels = np.ascontiguousarray(texels, dtype=np.uint8).reshape(-1, 4)
+    return texels[:, :2].copy().reshape(-1).view("<u2").copy()
+
+
+def pack_half(values: np.ndarray) -> np.ndarray:
+    """float16 host array -> (N, 4) texel bytes (little-endian fp16 in
+    R/G — fp16's exponent+sign already fit byte G, so unlike fp32 no
+    bit rearrangement is needed)."""
+    values = np.asarray(values, dtype=np.float16)
+    return _pack_two_bytes(values.view("<u2"))
+
+
+def unpack_half(texels: np.ndarray) -> np.ndarray:
+    """(N, 4) texel bytes -> float16 host array."""
+    return _unpack_two_bytes(texels).view(np.float16).copy()
+
+
+def pack_uint16(values: np.ndarray) -> np.ndarray:
+    return _pack_two_bytes(np.asarray(values, dtype="<u2"))
+
+
+def unpack_uint16(texels: np.ndarray) -> np.ndarray:
+    return _unpack_two_bytes(texels)
+
+
+def pack_int16(values: np.ndarray) -> np.ndarray:
+    return _pack_two_bytes(np.asarray(values, dtype="<i2").view("<u2"))
+
+
+def unpack_int16(texels: np.ndarray) -> np.ndarray:
+    return _unpack_two_bytes(texels).view(np.int16).copy()
+
+
+# ----------------------------------------------------------------------
+# Shader mirrors
+# ----------------------------------------------------------------------
+def shader_unpack_uint16(texel_floats: np.ndarray) -> np.ndarray:
+    bytes_ = reconstruct_byte(np.asarray(texel_floats, dtype=np.float64))
+    return bytes_[..., 0] + bytes_[..., 1] * 256.0
+
+
+def shader_pack_uint16(values: np.ndarray) -> np.ndarray:
+    v = np.floor(np.asarray(values, dtype=np.float64) + 0.5)
+    out = np.zeros(v.shape + (4,), dtype=np.float64)
+    out[..., 0] = np.mod(v, 256.0)
+    out[..., 1] = np.mod(np.floor(v / 256.0), 256.0)
+    out[..., 3] = 255.0
+    return out / 255.0
+
+
+def shader_unpack_int16(texel_floats: np.ndarray) -> np.ndarray:
+    bytes_ = reconstruct_byte(np.asarray(texel_floats, dtype=np.float64))
+    high = bytes_[..., 1]
+    signed_high = np.where(high < 128.0, high, high - 256.0)
+    return bytes_[..., 0] + signed_high * 256.0
+
+
+def shader_pack_int16(values: np.ndarray) -> np.ndarray:
+    v = np.floor(np.asarray(values, dtype=np.float64) + 0.5)
+    wrapped = np.where(v < 0, v + 65536.0, v)
+    out = np.zeros(v.shape + (4,), dtype=np.float64)
+    out[..., 0] = np.mod(wrapped, 256.0)
+    out[..., 1] = np.mod(np.floor(wrapped / 256.0), 256.0)
+    out[..., 3] = 255.0
+    return out / 255.0
+
+
+def shader_unpack_half(texel_floats: np.ndarray) -> np.ndarray:
+    """fp16 reconstruction: byte G = s eeeee mm, byte R = low mantissa."""
+    bytes_ = reconstruct_byte(np.asarray(texel_floats, dtype=np.float64))
+    b0, b1 = bytes_[..., 0], bytes_[..., 1]
+    sign = np.where(b1 >= 128.0, -1.0, 1.0)
+    rest = np.where(b1 >= 128.0, b1 - 128.0, b1)
+    exponent = np.floor(rest / 4.0)
+    mant_high = rest - exponent * 4.0
+    mantissa = (mant_high * 256.0 + b0) / float(2**FP16_MANTISSA_BITS)
+    value = sign * (1.0 + mantissa) * np.exp2(exponent - FP16_EXPONENT_BIAS)
+    is_zero = (exponent == 0.0) & (mantissa == 0.0)
+    is_subnormal = (exponent == 0.0) & (mantissa != 0.0)
+    subnormal = sign * (mantissa) * np.exp2(1.0 - FP16_EXPONENT_BIAS)
+    value = np.where(is_subnormal, subnormal, value)
+    value = np.where(is_zero, 0.0, value)
+    is_inf = (exponent == 31.0) & (mantissa == 0.0)
+    is_nan = (exponent == 31.0) & (mantissa != 0.0)
+    value = np.where(is_inf, sign * np.inf, value)
+    value = np.where(is_nan, np.nan, value)
+    return value
+
+
+def shader_pack_half(values: np.ndarray) -> np.ndarray:
+    """fp16 decomposition, mirroring the generated GLSL exactly:
+    round-half-up on the 10-bit mantissa, gradual underflow to
+    subnormals, overflow beyond FP16_MAX encodes infinity.
+
+    (IEEE round-to-nearest-even differs only on exact ties; values
+    already representable in fp16 round-trip bit-exactly either way.)
+    """
+    v = np.asarray(values, dtype=np.float64)
+    sign_bit = np.signbit(v).astype(np.float64)
+    a = np.abs(v)
+
+    finite = np.isfinite(v)
+    is_nan = np.isnan(v)
+    positive = a > 0
+    safe = np.where(positive & finite, a, 1.0)
+
+    exponent = np.floor(np.log2(safe))
+    p = safe * np.exp2(-exponent)
+    too_big = p >= 2.0
+    exponent = np.where(too_big, exponent + 1.0, exponent)
+    p = np.where(too_big, p * 0.5, p)
+    too_small = p < 1.0
+    exponent = np.where(too_small, exponent - 1.0, exponent)
+    p = np.where(too_small, p * 2.0, p)
+
+    # Normal path.
+    mantissa = np.floor((p - 1.0) * 1024.0 + 0.5)
+    overflow = mantissa >= 1024.0
+    exponent = np.where(overflow, exponent + 1.0, exponent)
+    mantissa = np.where(overflow, 0.0, mantissa)
+    biased = exponent + float(FP16_EXPONENT_BIAS)
+
+    # Gradual underflow: exponent below -14 stores a subnormal.
+    subnormal = exponent < -14.0
+    sub_mant = np.floor(safe * np.exp2(24.0) + 0.5)
+    sub_promoted = sub_mant >= 1024.0
+    mantissa = np.where(subnormal, np.where(sub_promoted, 0.0, sub_mant), mantissa)
+    biased = np.where(subnormal, np.where(sub_promoted, 1.0, 0.0), biased)
+
+    # Overflow / specials.
+    to_inf = finite & (a > FP16_MAX)
+    biased = np.where(to_inf | ~finite, 31.0, biased)
+    mantissa = np.where(to_inf | (~finite & ~is_nan), 0.0, mantissa)
+    mantissa = np.where(is_nan, 512.0, mantissa)
+    sign_bit = np.where(is_nan, 0.0, sign_bit)
+
+    # Zero.
+    is_zero = (~positive) & finite
+    biased = np.where(is_zero, 0.0, biased)
+    mantissa = np.where(is_zero, 0.0, mantissa)
+    sign_bit = np.where(is_zero, 0.0, sign_bit)
+
+    out = np.zeros(v.shape + (4,), dtype=np.float64)
+    out[..., 0] = np.mod(mantissa, 256.0)
+    out[..., 1] = sign_bit * 128.0 + biased * 4.0 + np.floor(mantissa / 256.0)
+    out[..., 3] = 255.0
+    return out / 255.0

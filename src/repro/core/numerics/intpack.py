@@ -1,0 +1,113 @@
+"""32-bit integer transformations (§IV-C, §IV-D).
+
+Host side, integers travel as their natural little-endian 2's
+complement bytes — the paper's key interoperability claim over
+Strzodka's custom 16-bit format: *unmodified* 32-bit integers go into
+the texture, byte for byte (one int per RGBA texel).
+
+Shader side, the four texel bytes are recombined arithmetically
+(eq. (6)): ``i = sum b_i * 256^i``.  On GPUs whose integer path is
+emulated in fp32 (all the paper's targets), exact reconstruction holds
+up to 2^24 — "precision equivalent to a 24-bit integer" (§IV-C).
+Signed values use the sign split of §IV-D: the paper's
+``(i_s + 256^3)`` wrap shows the authors treat negative magnitudes
+within 24 bits, which is what we implement (and test against the
+stated bound).
+
+Note on paper typos (documented in DESIGN.md): eq. (7) prints
+``b_i = i_u mod 256^i``; the inverse consistent with eq. (6) is
+``b_i = floor(i_u / 256^i) mod 256``, which we use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .delta import reconstruct_byte
+
+#: Exact-integer capacity of an fp32 mantissa: §IV-C's 2^24 bound.
+FLOAT_EXACT_INT_LIMIT = 2**24
+
+#: Byte significance weights of eq. (6).
+BYTE_WEIGHTS = np.array([1.0, 256.0, 65536.0, 16777216.0])
+
+
+# ----------------------------------------------------------------------
+# Host side: natural 2's-complement little-endian bytes
+# ----------------------------------------------------------------------
+def pack_uint(values: np.ndarray) -> np.ndarray:
+    """uint32 host array -> (N, 4) texel bytes, little-endian."""
+    values = np.ascontiguousarray(values, dtype="<u4").reshape(-1)
+    return values.view(np.uint8).reshape(-1, 4).copy()
+
+
+def unpack_uint(texels: np.ndarray) -> np.ndarray:
+    """(N, 4) texel bytes -> uint32 host array."""
+    texels = np.ascontiguousarray(texels, dtype=np.uint8).reshape(-1, 4)
+    return texels.reshape(-1).view("<u4").copy()
+
+
+def pack_int(values: np.ndarray) -> np.ndarray:
+    """int32 host array -> texel bytes (unmodified 2's complement)."""
+    return pack_uint(np.asarray(values, dtype="<i4").view("<u4"))
+
+
+def unpack_int(texels: np.ndarray) -> np.ndarray:
+    """Texel bytes -> int32 host array."""
+    return unpack_uint(texels).view(np.int32).copy()
+
+
+# ----------------------------------------------------------------------
+# Shader side (mirrored in numpy)
+# ----------------------------------------------------------------------
+def shader_unpack_uint(texel_floats: np.ndarray) -> np.ndarray:
+    """Eq. (6): four [0,1] channel floats -> unsigned integer value.
+
+    ``texel_floats`` has shape (N, 4) (RGBA order = byte significance
+    order 0..3).  The result is a float carrying the integer value —
+    exact up to 2^24 in fp32 arithmetic, exact everywhere in float64.
+    """
+    bytes_ = reconstruct_byte(np.asarray(texel_floats, dtype=np.float64))
+    return bytes_ @ BYTE_WEIGHTS
+
+
+def shader_pack_uint(values: np.ndarray) -> np.ndarray:
+    """Eq. (7), corrected form: integer value -> four [0,1] outputs."""
+    v = np.asarray(values, dtype=np.float64)
+    out = np.empty(v.shape + (4,), dtype=np.float64)
+    for i in range(4):
+        out[..., i] = np.mod(np.floor(v / BYTE_WEIGHTS[i]), 256.0)
+    return out / 255.0
+
+
+def shader_unpack_int(texel_floats: np.ndarray) -> np.ndarray:
+    """§IV-D reconstruction: unsigned low 24 bits + sign-carrying top
+    byte read as a signed byte.
+
+    Exact for values in (-2^24, 2^24) under fp32; the full int32 range
+    reconstructs exactly under float64 ('exact' device model).
+    """
+    bytes_ = reconstruct_byte(np.asarray(texel_floats, dtype=np.float64))
+    low24 = bytes_[..., 0] + bytes_[..., 1] * 256.0 + bytes_[..., 2] * 65536.0
+    b3 = bytes_[..., 3]
+    signed_b3 = np.where(b3 < 128.0, b3, b3 - 256.0)
+    return low24 + signed_b3 * 16777216.0
+
+
+def shader_pack_int(values: np.ndarray) -> np.ndarray:
+    """§IV-D reverse transform: ``(i_s + 256^3) mod 256^i`` for
+    negatives — i.e. wrap negative values into 24 bits and sign-extend
+    through byte 3.
+
+    Values must lie in (-2^24, 2^24); this is the paper's stated
+    integer precision envelope for fp32 GPUs.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    low = np.where(v < 0, v + 16777216.0, v)  # 24-bit wrap (paper's +256^3)
+    out = np.empty(v.shape + (4,), dtype=np.float64)
+    out[..., 0] = np.mod(np.floor(low), 256.0)
+    out[..., 1] = np.mod(np.floor(low / 256.0), 256.0)
+    out[..., 2] = np.mod(np.floor(low / 65536.0), 256.0)
+    # Byte 3 is pure sign extension within the 24-bit envelope.
+    out[..., 3] = np.where(v < 0, 255.0, np.mod(np.floor(v / 16777216.0), 256.0))
+    return out / 255.0

@@ -1,0 +1,76 @@
+"""E3 — Figure 2: CPU vs GPU float byte layout.
+
+Regenerates the content of the paper's Figure 2 programmatically: for
+a set of representative floats, the IEEE 754 byte values next to the
+rearranged GPU-layout bytes, showing the exponent packed into byte 3
+and the sign moved to byte 2's MSB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.numerics.floatpack import (
+    float_bits_to_gpu_word,
+    pack_float,
+)
+
+
+@dataclass
+class Fig2Row:
+    """One float's CPU and GPU byte layouts."""
+
+    value: float
+    ieee_bits: int
+    cpu_bytes: tuple  # little-endian b0..b3
+    gpu_bytes: tuple
+    sign: int
+    biased_exponent: int
+    mantissa: int
+
+
+DEFAULT_VALUES = (1.0, -1.0, 0.5, 2.0, 3.14159274, -0.15625, 65535.0, 1.0e-20)
+
+
+def run_fig2_layout(values: Sequence[float] = DEFAULT_VALUES) -> List[Fig2Row]:
+    rows: List[Fig2Row] = []
+    for value in values:
+        as32 = np.float32(value)
+        bits = int(np.array([as32], dtype="<f4").view("<u4")[0])
+        cpu_bytes = tuple((bits >> (8 * i)) & 0xFF for i in range(4))
+        gpu_word = int(float_bits_to_gpu_word(np.array([bits], dtype=np.uint32))[0])
+        gpu_bytes = tuple((gpu_word >> (8 * i)) & 0xFF for i in range(4))
+        # Cross-check against the texel packer.
+        texels = pack_float(np.array([as32], dtype=np.float32))[0]
+        assert tuple(int(x) for x in texels) == gpu_bytes
+        rows.append(
+            Fig2Row(
+                value=float(as32),
+                ieee_bits=bits,
+                cpu_bytes=cpu_bytes,
+                gpu_bytes=gpu_bytes,
+                sign=bits >> 31,
+                biased_exponent=(bits >> 23) & 0xFF,
+                mantissa=bits & 0x7FFFFF,
+            )
+        )
+    return rows
+
+
+def format_fig2_rows(rows: List[Fig2Row]) -> str:
+    lines = [
+        f"{'value':>14} | {'CPU bytes b3..b0 (IEEE 754)':>28} | "
+        f"{'GPU bytes b3..b0 (Fig. 2)':>26} | s  exp  mantissa"
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        cpu = " ".join(f"{b:02x}" for b in reversed(row.cpu_bytes))
+        gpu = " ".join(f"{b:02x}" for b in reversed(row.gpu_bytes))
+        lines.append(
+            f"{row.value:14.7g} | {cpu:>28} | {gpu:>26} | "
+            f"{row.sign}  {row.biased_exponent:3d}  0x{row.mantissa:06x}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""E6 — device peak throughput sanity check.
+
+The paper motivates the work with the VideoCore IV's 24 GFlops
+(§I, §V).  The check recomputes the peak from the microarchitectural
+parameters (12 QPUs x 4-wide SIMD x 2 ops/cycle x 250 MHz) and
+verifies the machine model exposes exactly that number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perf.machines import VIDEOCORE_IV_GPU, GpuParameters
+
+PAPER_PEAK_GFLOPS = 24.0
+
+
+@dataclass
+class PeakCheck:
+    derived_gflops: float
+    model_gflops: float
+    paper_gflops: float = PAPER_PEAK_GFLOPS
+
+    @property
+    def consistent(self) -> bool:
+        return (
+            abs(self.derived_gflops - self.model_gflops) < 1e-9
+            and abs(self.model_gflops - self.paper_gflops) < 1e-9
+        )
+
+
+def run_peak_check(params: GpuParameters = VIDEOCORE_IV_GPU) -> PeakCheck:
+    derived = (
+        params.qpu_count
+        * params.simd_width
+        * 2  # one add + one multiply per lane per cycle
+        * params.clock_hz
+        / 1e9
+    )
+    return PeakCheck(derived_gflops=derived, model_gflops=params.peak_gflops)

@@ -1,0 +1,109 @@
+"""E2 — the §V precision finding.
+
+"For the floating point versions, the GPU output is accurate with
+respect to the fp32 format used by the CPU, within the 15 most
+significant bits of the mantissa.  This results in precision higher
+than half-float (fp16) ... and between fp24 ... and fp32.  This
+difference comes from the GPU platform (hardware and software), since
+the same transformations on the CPU are precise."
+
+The experiment runs the fp32 sum and sgemm kernels under two device
+models: the ``videocore`` platform model (SFU-approximated exp2/log2)
+and the ``exact`` model (float64 — "the same transformations on the
+CPU").  Under the platform model, mantissa agreement with the CPU
+reference lands in the 15+-bit band; under the exact model the
+transformations are lossless (agreement at the full fp32 23 bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..baselines.cpu_kernels import cpu_sgemm, random_matrices
+from ..core.api.device import GpgpuDevice
+from ..kernels.elementwise import make_sum_kernel
+from ..kernels.sgemm import make_sgemm_kernel
+from ..validation.compare import PrecisionReport, precision_report
+
+#: Mantissa bit widths the paper compares against.
+FP16_MANTISSA_BITS = 10
+FP24_MANTISSA_BITS = 16
+FP32_MANTISSA_BITS = 23
+PAPER_BAND_BITS = 15
+
+
+@dataclass
+class PrecisionRow:
+    """Mantissa agreement of one benchmark under one device model."""
+
+    benchmark: str
+    model: str
+    report: PrecisionReport
+
+    @property
+    def in_paper_band(self) -> bool:
+        return self.report.meets_paper_band()
+
+    @property
+    def exact(self) -> bool:
+        """Bit-exact with respect to the fp32 reference (>= 23 bits
+        everywhere)."""
+        return self.report.min_bits >= FP32_MANTISSA_BITS
+
+
+def _run_sum(model: str, size: int, seed: int) -> PrecisionReport:
+    rng = np.random.default_rng(seed)
+    a = (rng.standard_normal(size) * 100).astype(np.float32)
+    b = (rng.standard_normal(size) * 100).astype(np.float32)
+    device = GpgpuDevice(float_model=model)
+    kernel = make_sum_kernel(device, "float32")
+    out = device.empty(size, "float32")
+    kernel(out, {"a": device.array(a), "b": device.array(b)})
+    return precision_report(a + b, out.to_host())
+
+
+def _run_sgemm(model: str, n: int, seed: int) -> PrecisionReport:
+    a, b, c = random_matrices(n, np.float32, seed=seed)
+    device = GpgpuDevice(float_model=model)
+    kernel = make_sgemm_kernel(device, "float32", n)
+    out = device.empty(n * n, "float32")
+    kernel(
+        out,
+        {
+            "a": device.array(a.reshape(-1)),
+            "b": device.array(b.reshape(-1)),
+            "c0": device.array(c.reshape(-1)),
+        },
+        {"u_n": float(n), "u_alpha": 1.0, "u_beta": 0.0},
+    )
+    reference = cpu_sgemm(1.0, a, b, 0.0, c)
+    return precision_report(reference, out.to_host().reshape(n, n))
+
+
+def run_precision_experiment(
+    sum_size: int = 16384, sgemm_n: int = 64, seed: int = 2016
+) -> List[PrecisionRow]:
+    """Run both fp benchmarks under the platform and exact models."""
+    rows: List[PrecisionRow] = []
+    for model in ("videocore", "exact"):
+        rows.append(PrecisionRow("sum", model, _run_sum(model, sum_size, seed)))
+        rows.append(PrecisionRow("sgemm", model, _run_sgemm(model, sgemm_n, seed)))
+    return rows
+
+
+def format_precision_rows(rows: List[PrecisionRow]) -> str:
+    lines = [
+        f"{'benchmark':>9} {'model':>10} {'median bits':>12} "
+        f"{'mean':>6} {'>=15 bits':>10}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:>9} {row.model:>10} "
+            f"{row.report.median_bits:12.1f} {row.report.mean_bits:6.1f} "
+            f"{row.report.fraction_ge_15 * 100:9.1f}%"
+        )
+    return "\n".join(lines)

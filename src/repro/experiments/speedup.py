@@ -1,0 +1,204 @@
+"""E1 — the paper's §V results table.
+
+"The sum shows a speedup of 7.2x over the CPU for integer and 6.5x
+for floating point, while sgemm 6.5x and 6.3x respectively."
+
+The experiment runs each benchmark end to end on the simulator at
+small sizes (validating results against the CPU reference), projects
+the dynamic counters to the paper's sizes with the exact polynomial
+fit of :mod:`repro.perf.extrapolate`, prices both devices with the
+machine models, and reports the four speedups next to the paper's
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..baselines.cpu_kernels import (
+    cpu_sgemm,
+    cpu_sum,
+    random_matrices,
+    sgemm_workload,
+    sum_workload,
+)
+from ..core.api.device import GpgpuDevice
+from ..kernels.elementwise import make_sum_kernel
+from ..kernels.sgemm import make_sgemm_kernel
+from ..perf.counters import ContextStats
+from ..perf.cpu_model import CpuModel
+from ..perf.extrapolate import project_stats
+from ..perf.machines import ARM11_CPU, VIDEOCORE_IV_GPU
+from ..perf.wallclock import GpuTimeline, gpu_wall_time
+
+#: The paper's reported speedups (§V).
+PAPER_SPEEDUPS: Dict[Tuple[str, str], float] = {
+    ("sum", "int32"): 7.2,
+    ("sum", "float32"): 6.5,
+    ("sgemm", "int32"): 6.5,
+    ("sgemm", "float32"): 6.3,
+}
+
+#: Simulation sizes used for the exact polynomial projection.
+SUM_MEASURE_SIZES = (4096, 16384)  # 64x64 and 128x128 texels
+SGEMM_MEASURE_SIZES = (8, 16, 32)  # matrix orders
+
+
+@dataclass
+class SpeedupRow:
+    """One row of the results table."""
+
+    benchmark: str
+    fmt: str
+    cpu_seconds: float
+    gpu: GpuTimeline
+    paper_speedup: float
+    validated: bool
+
+    @property
+    def gpu_seconds(self) -> float:
+        return self.gpu.total_seconds
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu_seconds / self.gpu.total_seconds
+
+
+def _sum_inputs(fmt: str, size: int, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    if fmt == "int32":
+        a = rng.integers(-(2**22), 2**22, size).astype(np.int32)
+        b = rng.integers(-(2**22), 2**22, size).astype(np.int32)
+    else:
+        a = rng.standard_normal(size).astype(np.float32)
+        b = rng.standard_normal(size).astype(np.float32)
+    return a, b
+
+
+def measure_sum(fmt: str, size: int, float_model: str = "ieee32") -> ContextStats:
+    """Run the sum benchmark end-to-end on a fresh device, validate
+    the result, and return the device counters."""
+    device = GpgpuDevice(float_model=float_model)
+    kernel = make_sum_kernel(device, fmt)
+    a, b = _sum_inputs(fmt, size)
+    out = device.empty(size, fmt)
+    kernel(out, {"a": device.array(a), "b": device.array(b)})
+    result = out.to_host()
+    expected = cpu_sum(a, b)
+    if fmt == "int32":
+        if not np.array_equal(result, expected):
+            raise AssertionError("GPU sum (int32) does not match the CPU")
+    else:
+        if not np.allclose(result, expected, rtol=1e-5):
+            raise AssertionError("GPU sum (float32) deviates from the CPU")
+    return device.ctx.stats
+
+
+def measure_sgemm(fmt: str, n: int, float_model: str = "ieee32") -> ContextStats:
+    """Run sgemm end-to-end on a fresh device with validation."""
+    device = GpgpuDevice(float_model=float_model)
+    kernel = make_sgemm_kernel(device, fmt, n)
+    dtype = np.int32 if fmt == "int32" else np.float32
+    a, b, c = random_matrices(n, dtype)
+    out = device.empty(n * n, fmt)
+    kernel(
+        out,
+        {
+            "a": device.array(a.reshape(-1)),
+            "b": device.array(b.reshape(-1)),
+            "c0": device.array(c.reshape(-1)),
+        },
+        {"u_n": float(n), "u_alpha": 1.0, "u_beta": 1.0},
+    )
+    result = out.to_host().reshape(n, n)
+    if fmt == "int32":
+        expected = cpu_sgemm(1, a, b, 1, c, integer=True)
+        if not np.array_equal(result, expected):
+            raise AssertionError("GPU sgemm (int32) does not match the CPU")
+    else:
+        expected = cpu_sgemm(1.0, a, b, 1.0, c)
+        if not np.allclose(result, expected, rtol=1e-4, atol=1e-4):
+            raise AssertionError("GPU sgemm (float32) deviates from the CPU")
+    return device.ctx.stats
+
+
+def run_speedup_table(
+    sum_target: int = 1024 * 1024,
+    sgemm_target: int = 1024,
+    gpu_params=VIDEOCORE_IV_GPU,
+    cpu_params=ARM11_CPU,
+    float_model: str = "ieee32",
+) -> List[SpeedupRow]:
+    """Produce the four-row speedup table of §V.
+
+    The paper's configuration: "matrix sizes of 1024 random-value
+    elements" — n = 1024 for sgemm (2^20-element matrices) and the
+    matching 2^20-element arrays for sum; wall times include transfers
+    and kernel compilation.
+    """
+    cpu_model = CpuModel(cpu_params)
+    rows: List[SpeedupRow] = []
+
+    for fmt in ("int32", "float32"):
+        stats = project_stats(
+            lambda s: measure_sum(fmt, s, float_model),
+            SUM_MEASURE_SIZES,
+            exponents=(0, 1),
+            target=sum_target,
+        )
+        gpu = gpu_wall_time(stats, gpu_params)
+        cpu_seconds = cpu_model.seconds(
+            sum_workload(sum_target, is_float=(fmt == "float32"))
+        )
+        rows.append(
+            SpeedupRow(
+                benchmark="sum",
+                fmt=fmt,
+                cpu_seconds=cpu_seconds,
+                gpu=gpu,
+                paper_speedup=PAPER_SPEEDUPS[("sum", fmt)],
+                validated=True,
+            )
+        )
+
+    for fmt in ("int32", "float32"):
+        stats = project_stats(
+            lambda n: measure_sgemm(fmt, n, float_model),
+            SGEMM_MEASURE_SIZES,
+            exponents=(0, 2, 3),
+            target=sgemm_target,
+        )
+        gpu = gpu_wall_time(stats, gpu_params)
+        cpu_seconds = cpu_model.seconds(
+            sgemm_workload(sgemm_target, is_float=(fmt == "float32"))
+        )
+        rows.append(
+            SpeedupRow(
+                benchmark="sgemm",
+                fmt=fmt,
+                cpu_seconds=cpu_seconds,
+                gpu=gpu,
+                paper_speedup=PAPER_SPEEDUPS[("sgemm", fmt)],
+                validated=True,
+            )
+        )
+    return rows
+
+
+def format_speedup_table(rows: List[SpeedupRow]) -> str:
+    """Render the table the way the bench prints it."""
+    header = (
+        f"{'benchmark':>9} {'format':>8} {'CPU [ms]':>12} {'GPU [ms]':>12} "
+        f"{'speedup':>8} {'paper':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:>9} {row.fmt:>8} "
+            f"{row.cpu_seconds * 1e3:12.2f} {row.gpu_seconds * 1e3:12.2f} "
+            f"{row.speedup:8.2f} {row.paper_speedup:6.1f}"
+        )
+    return "\n".join(lines)

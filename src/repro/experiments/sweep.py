@@ -1,0 +1,94 @@
+"""E10 — speedup vs problem size: where does the GPU start winning?
+
+The paper reports speedups at one size (1024).  A natural question its
+methodology raises — and the reproduction can answer — is where the
+*crossover* falls: fixed costs (two shader compilations, the driver's
+per-draw overhead) are amortised only beyond some problem size, below
+which the CPU wins.
+
+The sweep reuses the E1 machinery: measured counters, exact linear
+projection per size, both machine models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..baselines.cpu_kernels import sum_workload
+from ..perf.cpu_model import CpuModel
+from ..perf.extrapolate import project_stats
+from ..perf.machines import ARM11_CPU, VIDEOCORE_IV_GPU
+from ..perf.wallclock import gpu_wall_time
+from .speedup import SUM_MEASURE_SIZES, measure_sum
+
+#: Default sweep: powers of four (square power-of-two textures).
+DEFAULT_SIZES = (256, 1024, 4096, 16384, 65536, 262144, 1048576)
+
+
+@dataclass
+class SweepPoint:
+    size: int
+    cpu_seconds: float
+    gpu_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu_seconds / self.gpu_seconds
+
+
+@dataclass
+class SweepResult:
+    fmt: str
+    points: List[SweepPoint]
+
+    def crossover_size(self) -> Optional[int]:
+        """The first swept size at which the GPU wins (None if never)."""
+        for point in self.points:
+            if point.speedup > 1.0:
+                return point.size
+        return None
+
+
+def run_size_sweep(fmt: str = "int32", sizes=DEFAULT_SIZES) -> SweepResult:
+    """Sweep the sum benchmark over problem sizes."""
+    cpu_model = CpuModel(ARM11_CPU)
+    # Two measurements pin the affine counter model once; each sweep
+    # point is then an exact evaluation.
+    measurements = {
+        size: measure_sum(fmt, size) for size in SUM_MEASURE_SIZES
+    }
+
+    def measure(size: int):
+        return measurements.get(size) or measure_sum(fmt, size)
+
+    points = []
+    for size in sizes:
+        stats = project_stats(
+            measure, SUM_MEASURE_SIZES, exponents=(0, 1), target=size
+        )
+        gpu = gpu_wall_time(stats, VIDEOCORE_IV_GPU).total_seconds
+        cpu = cpu_model.seconds(sum_workload(size, fmt == "float32"))
+        points.append(SweepPoint(size=size, cpu_seconds=cpu, gpu_seconds=gpu))
+    return SweepResult(fmt=fmt, points=points)
+
+
+def format_sweep(result: SweepResult) -> str:
+    header = (
+        f"{'N':>9} {'CPU [ms]':>10} {'GPU [ms]':>10} {'speedup':>8} {'winner':>7}"
+    )
+    lines = [f"sum ({result.fmt}) speedup vs problem size:", header,
+             "-" * len(header)]
+    for point in result.points:
+        winner = "GPU" if point.speedup > 1.0 else "CPU"
+        lines.append(
+            f"{point.size:>9} {point.cpu_seconds * 1e3:10.3f} "
+            f"{point.gpu_seconds * 1e3:10.3f} {point.speedup:8.2f} "
+            f"{winner:>7}"
+        )
+    crossover = result.crossover_size()
+    lines.append(
+        f"crossover: GPU first wins at N = {crossover}"
+        if crossover else "crossover: the GPU never wins in this range"
+    )
+    return "\n".join(lines)

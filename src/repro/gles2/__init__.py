@@ -1,0 +1,46 @@
+"""A software implementation of OpenGL ES 2.0.
+
+This package is the hardware substitute for the paper's evaluation
+platform (the Raspberry Pi's VideoCore IV GPU): a conformant-enough
+ES 2 context whose API surface enforces every restriction the paper's
+techniques were designed to work around, backed by the GLSL ES 1.00
+front end in :mod:`repro.glsl`.
+
+Typical use::
+
+    from repro.gles2 import GLES2Context, enums as gl
+
+    ctx = GLES2Context(width=256, height=256, float_model="videocore")
+    vs = ctx.glCreateShader(gl.GL_VERTEX_SHADER)
+    ...
+"""
+
+from . import enums
+from .context import GLES2Context
+from .errors import GLError, SimulatorLimitation
+from .limits import VIDEOCORE_IV_LIMITS, DeviceLimits
+from .precision import (
+    ExactModel,
+    FloatModel,
+    Ieee32Model,
+    VideoCoreModel,
+    make_model,
+    mantissa_agreement_bits,
+    truncate_mantissa,
+)
+
+__all__ = [
+    "GLES2Context",
+    "GLError",
+    "SimulatorLimitation",
+    "DeviceLimits",
+    "VIDEOCORE_IV_LIMITS",
+    "FloatModel",
+    "ExactModel",
+    "Ieee32Model",
+    "VideoCoreModel",
+    "make_model",
+    "mantissa_agreement_bits",
+    "truncate_mantissa",
+    "enums",
+]

@@ -1,0 +1,47 @@
+"""Vertex buffer objects (GL_ARRAY_BUFFER / GL_ELEMENT_ARRAY_BUFFER).
+
+ES 2 buffers are untyped byte stores; attribute pointers interpret
+them at draw time.  The simulator stores bytes in a numpy uint8 array.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import enums
+
+
+class BufferObject:
+    """One buffer object name + data store."""
+
+    def __init__(self, name: int):
+        self.name = name
+        self.data: Optional[np.ndarray] = None  # uint8
+        self.usage = enums.GL_STATIC_DRAW
+        self.deleted = False
+
+    @property
+    def size(self) -> int:
+        return 0 if self.data is None else self.data.nbytes
+
+    def set_data(self, data: Optional[bytes], size: int, usage: int) -> None:
+        """glBufferData: allocate, optionally filling from ``data``."""
+        self.usage = usage
+        store = np.zeros(size, dtype=np.uint8)
+        if data is not None:
+            raw = np.frombuffer(_as_bytes(data), dtype=np.uint8)
+            store[: raw.size] = raw[:size]
+        self.data = store
+
+    def set_sub_data(self, offset: int, data) -> None:
+        """glBufferSubData."""
+        raw = np.frombuffer(_as_bytes(data), dtype=np.uint8)
+        self.data[offset : offset + raw.size] = raw
+
+
+def _as_bytes(data) -> bytes:
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return bytes(data)
+    return np.ascontiguousarray(data).tobytes()

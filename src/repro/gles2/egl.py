@@ -1,0 +1,266 @@
+"""A minimal EGL shim — the context-creation path of the paper's
+platform.
+
+On the Raspberry Pi there is no window system: applications reach the
+GPU through EGL over dispmanx, and every VideoCore GPGPU program
+begins with the same boilerplate (get display → initialize → choose a
+config → create a context and a pbuffer surface → make current).  This
+module reproduces that boot sequence faithfully enough that code
+written against it reads like real Pi code, while producing a
+:class:`~repro.gles2.context.GLES2Context` underneath.
+
+Only the constants and calls the GPGPU path touches are implemented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .context import GLES2Context
+
+# EGL constants (from egl.h)
+EGL_DEFAULT_DISPLAY = 0
+EGL_NO_CONTEXT = 0
+EGL_NO_SURFACE = 0
+EGL_FALSE = 0
+EGL_TRUE = 1
+
+EGL_SUCCESS = 0x3000
+EGL_NOT_INITIALIZED = 0x3001
+EGL_BAD_CONFIG = 0x3005
+EGL_BAD_DISPLAY = 0x3008
+EGL_BAD_PARAMETER = 0x300C
+
+EGL_ALPHA_SIZE = 0x3021
+EGL_BLUE_SIZE = 0x3022
+EGL_GREEN_SIZE = 0x3023
+EGL_RED_SIZE = 0x3024
+EGL_DEPTH_SIZE = 0x3025
+EGL_SURFACE_TYPE = 0x3033
+EGL_NONE = 0x3038
+EGL_RENDERABLE_TYPE = 0x3040
+EGL_HEIGHT = 0x3056
+EGL_WIDTH = 0x3057
+EGL_PBUFFER_BIT = 0x0001
+EGL_WINDOW_BIT = 0x0004
+EGL_OPENGL_ES2_BIT = 0x0004
+EGL_CONTEXT_CLIENT_VERSION = 0x3098
+
+
+@dataclass
+class EglConfig:
+    """One framebuffer configuration."""
+
+    config_id: int
+    red_size: int = 8
+    green_size: int = 8
+    blue_size: int = 8
+    alpha_size: int = 8
+    depth_size: int = 0
+    surface_type: int = EGL_PBUFFER_BIT | EGL_WINDOW_BIT
+    renderable_type: int = EGL_OPENGL_ES2_BIT
+
+    def matches(self, attributes: Dict[int, int]) -> bool:
+        checks = {
+            EGL_RED_SIZE: self.red_size,
+            EGL_GREEN_SIZE: self.green_size,
+            EGL_BLUE_SIZE: self.blue_size,
+            EGL_ALPHA_SIZE: self.alpha_size,
+            EGL_DEPTH_SIZE: self.depth_size,
+        }
+        for key, wanted in attributes.items():
+            if key in checks and checks[key] < wanted:
+                return False
+            if key == EGL_SURFACE_TYPE and not (self.surface_type & wanted):
+                return False
+            if key == EGL_RENDERABLE_TYPE and not (
+                self.renderable_type & wanted
+            ):
+                return False
+        return True
+
+
+@dataclass
+class EglSurface:
+    width: int
+    height: int
+    config: EglConfig
+
+
+@dataclass
+class EglContext:
+    config: EglConfig
+    client_version: int
+    #: Filled at eglMakeCurrent.
+    gl: Optional[GLES2Context] = None
+
+
+@dataclass
+class EglDisplay:
+    """The single (dispmanx-backed) display."""
+
+    initialized: bool = False
+    configs: List[EglConfig] = field(default_factory=lambda: [
+        EglConfig(config_id=1),
+        EglConfig(config_id=2, alpha_size=0),
+    ])
+
+
+class Egl:
+    """The EGL entry points, bound to one simulated device.
+
+    A fresh instance models one process's EGL state (matching how the
+    Pi's libEGL behaves)."""
+
+    def __init__(self, **context_kwargs):
+        self._display = EglDisplay()
+        self._error = EGL_SUCCESS
+        self._current: Optional[Tuple[EglContext, EglSurface]] = None
+        self._context_kwargs = context_kwargs
+
+    # ------------------------------------------------------------------
+    def eglGetError(self) -> int:
+        error, self._error = self._error, EGL_SUCCESS
+        return error
+
+    def _fail(self, code: int):
+        self._error = code
+        return EGL_FALSE
+
+    # ------------------------------------------------------------------
+    def eglGetDisplay(self, native_display: int = EGL_DEFAULT_DISPLAY):
+        if native_display != EGL_DEFAULT_DISPLAY:
+            self._error = EGL_BAD_DISPLAY
+            return None
+        return self._display
+
+    def eglInitialize(self, display: EglDisplay):
+        """Returns (EGL_TRUE, major, minor)."""
+        if not isinstance(display, EglDisplay):
+            return self._fail(EGL_BAD_DISPLAY), 0, 0
+        display.initialized = True
+        return EGL_TRUE, 1, 4
+
+    def eglTerminate(self, display: EglDisplay):
+        display.initialized = False
+        self._current = None
+        return EGL_TRUE
+
+    # ------------------------------------------------------------------
+    def eglChooseConfig(
+        self, display: EglDisplay, attrib_list: Sequence[int]
+    ) -> List[EglConfig]:
+        """Returns the matching configs (the C out-parameter style is
+        flattened into a return value)."""
+        if not display.initialized:
+            self._error = EGL_NOT_INITIALIZED
+            return []
+        attributes = _parse_attribs(attrib_list)
+        return [c for c in display.configs if c.matches(attributes)]
+
+    def eglCreateContext(
+        self,
+        display: EglDisplay,
+        config: EglConfig,
+        share_context=EGL_NO_CONTEXT,
+        attrib_list: Sequence[int] = (),
+    ):
+        if not display.initialized:
+            self._error = EGL_NOT_INITIALIZED
+            return EGL_NO_CONTEXT
+        if config not in display.configs:
+            self._error = EGL_BAD_CONFIG
+            return EGL_NO_CONTEXT
+        attributes = _parse_attribs(attrib_list)
+        version = attributes.get(EGL_CONTEXT_CLIENT_VERSION, 1)
+        if version != 2:
+            # The paper's platform is ES 2 only.
+            self._error = EGL_BAD_PARAMETER
+            return EGL_NO_CONTEXT
+        return EglContext(config=config, client_version=2)
+
+    def eglCreatePbufferSurface(
+        self, display: EglDisplay, config: EglConfig,
+        attrib_list: Sequence[int] = (),
+    ):
+        if not display.initialized:
+            self._error = EGL_NOT_INITIALIZED
+            return EGL_NO_SURFACE
+        attributes = _parse_attribs(attrib_list)
+        width = attributes.get(EGL_WIDTH, 1)
+        height = attributes.get(EGL_HEIGHT, 1)
+        if width <= 0 or height <= 0:
+            self._error = EGL_BAD_PARAMETER
+            return EGL_NO_SURFACE
+        return EglSurface(width=width, height=height, config=config)
+
+    def eglMakeCurrent(
+        self, display: EglDisplay, draw: EglSurface, read: EglSurface,
+        context: EglContext,
+    ):
+        if not isinstance(context, EglContext) or not isinstance(
+            draw, EglSurface
+        ):
+            return self._fail(EGL_BAD_PARAMETER)
+        if context.gl is None:
+            context.gl = GLES2Context(
+                width=draw.width, height=draw.height, **self._context_kwargs
+            )
+        self._current = (context, draw)
+        return EGL_TRUE
+
+    def eglGetCurrentContext(self):
+        return self._current[0] if self._current else EGL_NO_CONTEXT
+
+    def eglSwapBuffers(self, display: EglDisplay, surface: EglSurface):
+        # Pbuffers have no back buffer; this is a fence, like glFinish.
+        if self._current is None:
+            return self._fail(EGL_BAD_PARAMETER)
+        self._current[0].gl.glFinish()
+        return EGL_TRUE
+
+    # ------------------------------------------------------------------
+    def current_gl(self) -> GLES2Context:
+        """Convenience: the GLES2Context of the current EGL context."""
+        if self._current is None or self._current[0].gl is None:
+            raise RuntimeError("no EGL context is current")
+        return self._current[0].gl
+
+
+def _parse_attribs(attrib_list: Sequence[int]) -> Dict[int, int]:
+    """EGL attribute lists are flat (key, value, ..., EGL_NONE)."""
+    attributes: Dict[int, int] = {}
+    items = list(attrib_list)
+    i = 0
+    while i < len(items):
+        if items[i] == EGL_NONE:
+            break
+        if i + 1 >= len(items):
+            break
+        attributes[items[i]] = items[i + 1]
+        i += 2
+    return attributes
+
+
+def create_es2_context(width: int, height: int, **context_kwargs) -> GLES2Context:
+    """The whole Pi boot dance in one call (what every VideoCore GPGPU
+    program's first 30 lines do), returning a ready GLES2Context."""
+    egl = Egl(**context_kwargs)
+    display = egl.eglGetDisplay(EGL_DEFAULT_DISPLAY)
+    ok, __, __ = egl.eglInitialize(display)
+    assert ok == EGL_TRUE
+    configs = egl.eglChooseConfig(display, [
+        EGL_RED_SIZE, 8, EGL_GREEN_SIZE, 8, EGL_BLUE_SIZE, 8,
+        EGL_ALPHA_SIZE, 8, EGL_SURFACE_TYPE, EGL_PBUFFER_BIT,
+        EGL_RENDERABLE_TYPE, EGL_OPENGL_ES2_BIT, EGL_NONE,
+    ])
+    context = egl.eglCreateContext(
+        display, configs[0],
+        attrib_list=[EGL_CONTEXT_CLIENT_VERSION, 2, EGL_NONE],
+    )
+    surface = egl.eglCreatePbufferSurface(
+        display, configs[0], [EGL_WIDTH, width, EGL_HEIGHT, height, EGL_NONE]
+    )
+    egl.eglMakeCurrent(display, surface, surface, context)
+    return egl.current_gl()

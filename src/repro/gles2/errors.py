@@ -1,0 +1,62 @@
+"""GL error handling.
+
+Real OpenGL reports errors through a sticky error flag read with
+``glGetError``.  The simulator follows the same model (so code ported
+from C behaves identically), but can optionally *also* raise a Python
+exception at the call site — far friendlier while developing kernels.
+"""
+
+from __future__ import annotations
+
+from . import enums
+
+_ERROR_NAMES = {
+    enums.GL_NO_ERROR: "GL_NO_ERROR",
+    enums.GL_INVALID_ENUM: "GL_INVALID_ENUM",
+    enums.GL_INVALID_VALUE: "GL_INVALID_VALUE",
+    enums.GL_INVALID_OPERATION: "GL_INVALID_OPERATION",
+    enums.GL_OUT_OF_MEMORY: "GL_OUT_OF_MEMORY",
+    enums.GL_INVALID_FRAMEBUFFER_OPERATION: "GL_INVALID_FRAMEBUFFER_OPERATION",
+}
+
+
+def error_name(code: int) -> str:
+    return _ERROR_NAMES.get(code, hex(code))
+
+
+class GLError(Exception):
+    """Raised (in strict mode) when a GL call records an error."""
+
+    def __init__(self, code: int, message: str = ""):
+        self.code = code
+        detail = f"{error_name(code)}"
+        if message:
+            detail += f": {message}"
+        super().__init__(detail)
+
+
+class SimulatorLimitation(Exception):
+    """Raised when the simulator does not implement a legal-but-unused
+    corner of the API (e.g. line primitives).  Distinct from GLError so
+    callers can tell a simulator gap from a genuine API misuse."""
+
+
+class ErrorState:
+    """The context's sticky error flag."""
+
+    def __init__(self, strict: bool = True):
+        self.code = enums.GL_NO_ERROR
+        #: When True, recording an error raises GLError immediately.
+        self.strict = strict
+
+    def record(self, code: int, message: str = "") -> None:
+        if self.code == enums.GL_NO_ERROR:
+            self.code = code
+        if self.strict:
+            raise GLError(code, message)
+
+    def fetch(self) -> int:
+        """glGetError semantics: return and clear."""
+        code = self.code
+        self.code = enums.GL_NO_ERROR
+        return code

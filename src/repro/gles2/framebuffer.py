@@ -1,0 +1,74 @@
+"""Framebuffer objects and the default framebuffer (ES 2 chapter 4).
+
+Color storage is always RGBA8 — the paper's limitation (6): fragment
+outputs are clamped to [0, 1] and quantised to unsigned bytes on the
+way in, so any non-image data must go through the paper's §IV pack
+transformations.
+
+Render-to-texture (``glFramebufferTexture2D``) is the mechanism behind
+limitation (7): ES 2 has no ``glGetTexImage``, so the only way data
+comes back to the CPU is ``glReadPixels`` from the *currently bound*
+framebuffer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import enums
+from .texture import Texture
+
+
+class DefaultFramebuffer:
+    """The window-system-provided framebuffer (name 0)."""
+
+    def __init__(self, width: int, height: int):
+        self.width = width
+        self.height = height
+        #: (H, W, 4) uint8
+        self.color = np.zeros((height, width, 4), dtype=np.uint8)
+
+    def color_buffer(self) -> np.ndarray:
+        return self.color
+
+    def status(self) -> int:
+        return enums.GL_FRAMEBUFFER_COMPLETE
+
+    @property
+    def size(self):
+        return self.width, self.height
+
+
+class FramebufferObject:
+    """An application-created FBO."""
+
+    def __init__(self, name: int):
+        self.name = name
+        self.color_texture: Optional[Texture] = None
+        self.deleted = False
+
+    def attach_color(self, texture: Optional[Texture]) -> None:
+        self.color_texture = texture
+
+    def status(self) -> int:
+        if self.color_texture is None:
+            return enums.GL_FRAMEBUFFER_INCOMPLETE_MISSING_ATTACHMENT
+        if self.color_texture.data is None:
+            return enums.GL_FRAMEBUFFER_INCOMPLETE_ATTACHMENT
+        # Only RGB/RGBA textures are color-renderable in practice.
+        if self.color_texture.format not in (enums.GL_RGBA, enums.GL_RGB):
+            return enums.GL_FRAMEBUFFER_UNSUPPORTED
+        return enums.GL_FRAMEBUFFER_COMPLETE
+
+    def color_buffer(self) -> Optional[np.ndarray]:
+        if self.color_texture is None:
+            return None
+        return self.color_texture.data
+
+    @property
+    def size(self):
+        if self.color_texture is None or self.color_texture.data is None:
+            return 0, 0
+        return self.color_texture.width, self.color_texture.height

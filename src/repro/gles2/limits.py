@@ -1,0 +1,39 @@
+"""Implementation-defined limits of the simulated device.
+
+Values follow the Broadcom VideoCore IV driver on the Raspberry Pi
+(the paper's evaluation platform), which itself sits at or near the
+OpenGL ES 2 minima.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class DeviceLimits:
+    """Queryable limits (glGetIntegerv)."""
+
+    max_texture_size: int = 2048
+    max_vertex_attribs: int = 8
+    max_vertex_uniform_vectors: int = 128
+    max_fragment_uniform_vectors: int = 64
+    max_varying_vectors: int = 8
+    max_texture_image_units: int = 8
+    max_vertex_texture_image_units: int = 0
+    max_combined_texture_image_units: int = 8
+    max_renderbuffer_size: int = 2048
+    #: The paper's limitation (8): one draw buffer.
+    max_draw_buffers: int = 1
+
+    vendor: str = "repro"
+    renderer: str = "Simulated VideoCore IV (software)"
+    version: str = "OpenGL ES 2.0 (repro simulator)"
+    shading_language_version: str = "OpenGL ES GLSL ES 1.00"
+    #: No float-texture extensions: the exact situation the paper's
+    #: numeric transformations exist to work around (limitations 5/6).
+    extensions: Tuple[str, ...] = field(default=())
+
+
+VIDEOCORE_IV_LIMITS = DeviceLimits()

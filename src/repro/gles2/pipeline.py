@@ -1,0 +1,290 @@
+"""Draw-call execution: the programmable pipeline of Figure 1.
+
+``execute_draw`` glues the stages together: attribute fetch → vertex
+shader (vectorised over all vertices) → primitive assembly →
+rasterisation → varying interpolation → fragment shader (vectorised
+over all fragments) → per-fragment output conversion into the RGBA8
+framebuffer.
+
+The final conversion implements the paper's equation (2): fragment
+colours are clamped to [0, 1] and quantised to unsigned bytes.  Two
+quantisation modes are supported: ``"round"`` (what the GL ES spec
+mandates: round to nearest) and ``"floor"`` (the floor form printed in
+the paper).  The §IV transformations round-trip exactly under either,
+because they quantise *in the shader* and emit exact multiples of
+1/255.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..glsl.interp import Interpreter
+from ..glsl.values import Value
+from ..perf.counters import DrawStats, OpCounters
+from . import enums, raster
+from .errors import SimulatorLimitation
+
+_ATTRIB_DTYPES = {
+    enums.GL_FLOAT: np.dtype(np.float32),
+    enums.GL_BYTE: np.dtype(np.int8),
+    enums.GL_UNSIGNED_BYTE: np.dtype(np.uint8),
+    enums.GL_SHORT: np.dtype(np.int16),
+    enums.GL_UNSIGNED_SHORT: np.dtype(np.uint16),
+}
+
+
+@dataclass
+class VertexAttribState:
+    """State of one generic vertex attribute (glVertexAttribPointer +
+    glEnableVertexAttribArray + glVertexAttrib4f)."""
+
+    enabled: bool = False
+    size: int = 4
+    type: int = enums.GL_FLOAT
+    normalized: bool = False
+    stride: int = 0
+    #: Client-side array (numpy) or byte offset into ``buffer``.
+    pointer: object = None
+    buffer: object = None  # BufferObject or None
+    generic_value: np.ndarray = field(
+        default_factory=lambda: np.array([0.0, 0.0, 0.0, 1.0])
+    )
+
+
+def fetch_attribute(state: VertexAttribState, max_index: int) -> np.ndarray:
+    """Materialise one attribute as (max_index + 1, 4) float64 with GL
+    default fill (0, 0, 0, 1)."""
+    count = max_index + 1
+    out = np.zeros((count, 4), dtype=np.float64)
+    out[:, 3] = 1.0
+    if not state.enabled:
+        out[:] = state.generic_value
+        return out
+
+    if state.buffer is not None:
+        data = _read_buffer_attribute(state, count)
+    else:
+        data = _read_client_attribute(state, count)
+    data = _normalize_attribute(data, state)
+    out[:, : state.size] = data[:, : state.size]
+    return out
+
+
+def _read_client_attribute(state: VertexAttribState, count: int) -> np.ndarray:
+    array = np.asarray(state.pointer)
+    if array.ndim == 1:
+        array = array.reshape(-1, state.size)
+    if array.shape[0] < count:
+        raise SimulatorLimitation(
+            f"client vertex array has {array.shape[0]} vertices, draw "
+            f"needs {count}"
+        )
+    return array[:count].astype(np.float64, copy=False)
+
+
+def _read_buffer_attribute(state: VertexAttribState, count: int) -> np.ndarray:
+    dtype = _ATTRIB_DTYPES[state.type]
+    offset = int(state.pointer or 0)
+    stride = state.stride or state.size * dtype.itemsize
+    raw = state.buffer.data
+    needed = offset + (count - 1) * stride + state.size * dtype.itemsize
+    if raw is None or raw.nbytes < needed:
+        raise SimulatorLimitation("vertex buffer too small for draw call")
+    view = np.lib.stride_tricks.as_strided(
+        raw[offset:].view(np.uint8),
+        shape=(count, state.size * dtype.itemsize),
+        strides=(stride, 1),
+    )
+    flat = view.reshape(-1).tobytes()
+    typed = np.frombuffer(flat, dtype=dtype).reshape(count, state.size)
+    return typed.astype(np.float64)
+
+
+def _normalize_attribute(data: np.ndarray, state: VertexAttribState) -> np.ndarray:
+    if state.type == enums.GL_FLOAT or not state.normalized:
+        return data
+    scale = {
+        enums.GL_UNSIGNED_BYTE: 255.0,
+        enums.GL_UNSIGNED_SHORT: 65535.0,
+        enums.GL_BYTE: 127.0,
+        enums.GL_SHORT: 32767.0,
+    }[state.type]
+    normalized = data / scale
+    if state.type in (enums.GL_BYTE, enums.GL_SHORT):
+        normalized = np.maximum(normalized, -1.0)
+    return normalized
+
+
+# ----------------------------------------------------------------------
+# Draw execution
+# ----------------------------------------------------------------------
+def execute_draw(
+    program,
+    attribs: Dict[int, VertexAttribState],
+    index_stream: np.ndarray,
+    mode: int,
+    viewport: Tuple[int, int, int, int],
+    color_buffer: np.ndarray,
+    float_model,
+    resolve_sampler,
+    quantization: str = "round",
+    max_loop_iterations: int = 65536,
+) -> DrawStats:
+    """Run the full pipeline for one draw call, writing into
+    ``color_buffer`` (an (H, W, 4) uint8 array) in place."""
+    stats = DrawStats()
+    if index_stream.size == 0:
+        return stats
+
+    fb_height, fb_width = color_buffer.shape[0], color_buffer.shape[1]
+
+    # ------------------------------------------------------------------
+    # 1. Attribute fetch + vertex shading.  We shade the full range of
+    # referenced vertices once (real hardware caches post-transform
+    # vertices similarly).
+    # ------------------------------------------------------------------
+    max_index = int(index_stream.max())
+    uniforms = program.build_uniform_values(resolve_sampler)
+    _cast_uniform_floats(uniforms, float_model.dtype)
+
+    vs_presets: Dict[str, Value] = dict(uniforms)
+    from ..glsl.types import FLOAT, VEC2, VEC3, VEC4
+
+    vec_types = {1: FLOAT, 2: VEC2, 3: VEC3, 4: VEC4}
+    for symbol in program.vertex.active_attributes():
+        location = program.attribute_locations[symbol.name]
+        state = attribs.get(location, VertexAttribState())
+        fetched = fetch_attribute(state, max_index)
+        gtype = symbol.type
+        comps = gtype.component_count()
+        data = fetched[:, :comps].astype(float_model.dtype)
+        if gtype.is_scalar():
+            data = data[:, 0]
+        vs_presets[symbol.name] = Value(gtype, data)
+
+    vertex_count = max_index + 1
+    vs_interp = Interpreter(
+        program.vertex,
+        float_model=float_model,
+        counters=stats.vertex_ops,
+        max_loop_iterations=max_loop_iterations,
+    )
+    vs_env = vs_interp.execute(vertex_count, vs_presets)
+    stats.vertex_invocations = vertex_count
+
+    position = vs_env.get("gl_Position")
+    if position is None:
+        raise SimulatorLimitation("vertex shader did not produce gl_Position")
+    positions_clip = np.broadcast_to(
+        position.data.astype(np.float64), (vertex_count, 4)
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Primitive assembly + rasterisation.
+    # ------------------------------------------------------------------
+    window, w_clip = raster.viewport_transform(positions_clip, viewport)
+    if mode == enums.GL_POINTS:
+        batch = raster.rasterize_points(
+            window, w_clip, index_stream, fb_width, fb_height
+        )
+    elif mode in (enums.GL_LINES, enums.GL_LINE_STRIP, enums.GL_LINE_LOOP):
+        segments = raster.assemble_lines(mode, index_stream)
+        batch = raster.rasterize_lines(
+            window, w_clip, segments, fb_width, fb_height
+        )
+    else:
+        triangles = raster.assemble_triangles(mode, index_stream)
+        batch = raster.rasterize_triangles(
+            window, w_clip, triangles, fb_width, fb_height
+        )
+    if batch.count == 0:
+        return stats
+
+    # ------------------------------------------------------------------
+    # 3. Varying interpolation + fragment shading.
+    # ------------------------------------------------------------------
+    fs_presets: Dict[str, Value] = dict(uniforms)
+    for name, gtype in program.varying_types.items():
+        per_vertex = vs_env[name].data
+        per_vertex = np.broadcast_to(
+            per_vertex.astype(np.float64),
+            (vertex_count,) + per_vertex.shape[1:],
+        )
+        interpolated = raster.interpolate_varying(batch, per_vertex)
+        fs_presets[name] = Value(gtype, interpolated.astype(float_model.dtype))
+
+    frag_coord = np.empty((batch.count, 4), dtype=float_model.dtype)
+    frag_coord[:, 0] = batch.px + 0.5
+    frag_coord[:, 1] = batch.py + 0.5
+    frag_coord[:, 2] = batch.frag_z
+    frag_coord[:, 3] = batch.frag_w
+    from ..glsl.types import BOOL as _BOOL, VEC4 as _VEC4, VEC2 as _VEC2
+
+    fs_presets["gl_FragCoord"] = Value(_VEC4, frag_coord)
+    fs_presets["gl_FrontFacing"] = Value(
+        _BOOL, np.ones(batch.count, dtype=bool)
+    )
+    fs_presets["gl_PointCoord"] = Value(
+        _VEC2, np.zeros((batch.count, 2), dtype=float_model.dtype)
+    )
+
+    fs_interp = Interpreter(
+        program.fragment,
+        float_model=float_model,
+        counters=stats.fragment_ops,
+        max_loop_iterations=max_loop_iterations,
+    )
+    fs_env = fs_interp.execute(batch.count, fs_presets)
+    stats.fragment_invocations = batch.count
+
+    # ------------------------------------------------------------------
+    # 4. Output selection and framebuffer write (paper eq. (2)).
+    # ------------------------------------------------------------------
+    if "gl_FragData" in program.fragment.written_builtins:
+        color = fs_env["gl_FragData"].data
+        color = np.broadcast_to(color, (batch.count, 1, 4))[:, 0, :]
+    else:
+        color = np.broadcast_to(fs_env["gl_FragColor"].data, (batch.count, 4))
+    keep = ~fs_interp.discarded
+    stats.discarded_fragments = int((~keep).sum())
+
+    quantised = quantize_color(color.astype(np.float64), quantization)
+    px = batch.px[keep]
+    py = batch.py[keep]
+    color_buffer[py, px] = quantised[keep]
+    stats.framebuffer_writes = int(keep.sum())
+    return stats
+
+
+def quantize_color(color: np.ndarray, mode: str = "round") -> np.ndarray:
+    """Clamp to [0,1] and convert to unsigned bytes.
+
+    ``"round"`` follows the GL ES spec (§2.1.2: round to nearest);
+    ``"floor"`` follows the paper's printed equation (2):
+    ``i = floor(f * (2^8 - 1))``.
+    """
+    clamped = np.clip(color, 0.0, 1.0)
+    if mode == "floor":
+        return np.floor(clamped * 255.0).astype(np.uint8)
+    if mode == "round":
+        return np.floor(clamped * 255.0 + 0.5).astype(np.uint8)
+    raise ValueError(f"unknown quantization mode '{mode}'")
+
+
+def _cast_uniform_floats(uniforms: Dict[str, Value], dtype) -> None:
+    """Cast float uniform data to the device float dtype in place."""
+    for value in uniforms.values():
+        _cast_value(value, dtype)
+
+
+def _cast_value(value: Value, dtype) -> None:
+    if value.fields is not None:
+        for sub in value.fields.values():
+            _cast_value(sub, dtype)
+        return
+    if value.data is not None and np.issubdtype(value.data.dtype, np.floating):
+        value.data = value.data.astype(dtype)

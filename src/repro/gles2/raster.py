@@ -1,0 +1,333 @@
+"""Triangle rasterisation with perspective-correct interpolation.
+
+Implements the fixed-function middle of the pipeline in Figure 1 of
+the paper: primitive assembly (triangles only — limitation 2: ES 2
+offers no quads, so the paper's technique renders a fullscreen quad as
+two triangles) and rasterisation at pixel centers with a top-left fill
+rule, so the two triangles of a quad cover every pixel exactly once —
+crucial for GPGPU, where double-shading a pixel means computing (and
+paying for) a kernel invocation twice.
+
+Coordinates follow the GL convention: window origin at the bottom
+left, pixel centers at half-integer coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import enums
+from .errors import SimulatorLimitation
+
+
+def assemble_triangles(mode: int, indices: np.ndarray) -> np.ndarray:
+    """Group a vertex index stream into (T, 3) triangles.
+
+    ``indices`` is the element stream (for glDrawArrays it is simply
+    arange(count)).
+    """
+    count = indices.shape[0]
+    if mode == enums.GL_TRIANGLES:
+        t = count // 3
+        return indices[: t * 3].reshape(t, 3)
+    if mode == enums.GL_TRIANGLE_STRIP:
+        if count < 3:
+            return np.zeros((0, 3), dtype=indices.dtype)
+        tris = []
+        for i in range(count - 2):
+            if i % 2 == 0:
+                tris.append((indices[i], indices[i + 1], indices[i + 2]))
+            else:
+                # Swap to preserve winding.
+                tris.append((indices[i + 1], indices[i], indices[i + 2]))
+        return np.array(tris, dtype=indices.dtype)
+    if mode == enums.GL_TRIANGLE_FAN:
+        if count < 3:
+            return np.zeros((0, 3), dtype=indices.dtype)
+        tris = [
+            (indices[0], indices[i], indices[i + 1]) for i in range(1, count - 1)
+        ]
+        return np.array(tris, dtype=indices.dtype)
+    raise SimulatorLimitation(
+        f"primitive mode {hex(mode)} is not rasterised by this simulator "
+        "(use GL_TRIANGLES / GL_TRIANGLE_STRIP / GL_TRIANGLE_FAN / GL_POINTS)"
+    )
+
+
+@dataclass
+class FragmentBatch:
+    """All fragments produced by one draw call.
+
+    ``vertex_ids[f]`` are the three vertex indices of the fragment's
+    triangle, ``bary[f]`` the window-space barycentric weights, and
+    ``persp[f]`` the perspective-corrected weights (equal to ``bary``
+    when all w == 1, the GPGPU case).
+    """
+
+    px: np.ndarray  # (F,) int64 pixel x
+    py: np.ndarray  # (F,) int64 pixel y
+    vertex_ids: np.ndarray  # (F, 3)
+    bary: np.ndarray  # (F, 3) float64
+    persp: np.ndarray  # (F, 3) float64, sums to 1
+    frag_z: np.ndarray  # (F,) window-space depth in [0, 1]
+    frag_w: np.ndarray  # (F,) 1 / w_clip interpolated
+
+    @property
+    def count(self) -> int:
+        return self.px.shape[0]
+
+
+def viewport_transform(
+    positions_clip: np.ndarray, viewport: Tuple[int, int, int, int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Clip space -> window space.
+
+    Returns (window (N,3): x, y, z) and the clip-space w (N,).
+    No frustum clipping is performed: the GPGPU geometry is a quad at
+    exactly the NDC boundary, which needs none.
+    """
+    vx, vy, vw, vh = viewport
+    w_clip = positions_clip[:, 3]
+    safe_w = np.where(w_clip == 0.0, 1.0, w_clip)
+    ndc = positions_clip[:, :3] / safe_w[:, None]
+    window = np.empty_like(ndc)
+    window[:, 0] = (ndc[:, 0] * 0.5 + 0.5) * vw + vx
+    window[:, 1] = (ndc[:, 1] * 0.5 + 0.5) * vh + vy
+    window[:, 2] = ndc[:, 2] * 0.5 + 0.5
+    return window, w_clip
+
+
+def rasterize_triangles(
+    window: np.ndarray,
+    w_clip: np.ndarray,
+    triangles: np.ndarray,
+    fb_width: int,
+    fb_height: int,
+    scissor: Optional[Tuple[int, int, int, int]] = None,
+) -> FragmentBatch:
+    """Rasterise triangles given window-space vertices.
+
+    Applies the top-left fill rule so shared edges shade exactly once.
+    """
+    all_px: List[np.ndarray] = []
+    all_py: List[np.ndarray] = []
+    all_ids: List[np.ndarray] = []
+    all_bary: List[np.ndarray] = []
+    all_persp: List[np.ndarray] = []
+    all_z: List[np.ndarray] = []
+    all_w: List[np.ndarray] = []
+
+    min_x, min_y = 0, 0
+    max_x, max_y = fb_width, fb_height
+    if scissor is not None:
+        sx, sy, sw, sh = scissor
+        min_x, min_y = max(min_x, sx), max(min_y, sy)
+        max_x, max_y = min(max_x, sx + sw), min(max_y, sy + sh)
+
+    for tri in triangles:
+        v0, v1, v2 = (window[i] for i in tri)
+        area = (v1[0] - v0[0]) * (v2[1] - v0[1]) - (v1[1] - v0[1]) * (v2[0] - v0[0])
+        if area == 0.0:
+            continue
+        orient = 1.0 if area > 0 else -1.0
+
+        x_lo = max(int(np.floor(min(v0[0], v1[0], v2[0]))), min_x)
+        x_hi = min(int(np.ceil(max(v0[0], v1[0], v2[0]))), max_x)
+        y_lo = max(int(np.floor(min(v0[1], v1[1], v2[1]))), min_y)
+        y_hi = min(int(np.ceil(max(v0[1], v1[1], v2[1]))), max_y)
+        if x_lo >= x_hi or y_lo >= y_hi:
+            continue
+
+        xs = np.arange(x_lo, x_hi, dtype=np.float64) + 0.5
+        ys = np.arange(y_lo, y_hi, dtype=np.float64) + 0.5
+        px, py = np.meshgrid(xs, ys)
+
+        inside = np.ones(px.shape, dtype=bool)
+        edge_values = []
+        for a, b in ((v1, v2), (v2, v0), (v0, v1)):
+            dx = (b[0] - a[0]) * orient
+            dy = (b[1] - a[1]) * orient
+            e = dx * (py - a[1]) - dy * (px - a[0])
+            top_left = (dy > 0.0) or (dy == 0.0 and dx < 0.0)
+            if top_left:
+                inside &= e >= 0.0
+            else:
+                inside &= e > 0.0
+            edge_values.append(e)
+        if not inside.any():
+            continue
+
+        e0, e1, e2 = (e[inside] for e in edge_values)
+        total = e0 + e1 + e2
+        bary = np.stack([e0, e1, e2], axis=1) / total[:, None]
+
+        ws = w_clip[tri]
+        inv_w = np.where(ws == 0.0, 1.0, 1.0 / ws)
+        persp_num = bary * inv_w[None, :]
+        frag_inv_w = persp_num.sum(axis=1)
+        persp = persp_num / frag_inv_w[:, None]
+
+        zs = window[tri, 2]
+        frag_z = bary @ zs
+
+        ix = np.floor(px[inside]).astype(np.int64)
+        iy = np.floor(py[inside]).astype(np.int64)
+        all_px.append(ix)
+        all_py.append(iy)
+        all_ids.append(np.broadcast_to(tri, (ix.shape[0], 3)).copy())
+        all_bary.append(bary)
+        all_persp.append(persp)
+        all_z.append(frag_z)
+        all_w.append(frag_inv_w)
+
+    if not all_px:
+        empty_f = np.zeros((0,), dtype=np.float64)
+        return FragmentBatch(
+            px=np.zeros((0,), dtype=np.int64),
+            py=np.zeros((0,), dtype=np.int64),
+            vertex_ids=np.zeros((0, 3), dtype=np.int64),
+            bary=np.zeros((0, 3)),
+            persp=np.zeros((0, 3)),
+            frag_z=empty_f,
+            frag_w=empty_f,
+        )
+    return FragmentBatch(
+        px=np.concatenate(all_px),
+        py=np.concatenate(all_py),
+        vertex_ids=np.concatenate(all_ids).astype(np.int64),
+        bary=np.concatenate(all_bary),
+        persp=np.concatenate(all_persp),
+        frag_z=np.concatenate(all_z),
+        frag_w=np.concatenate(all_w),
+    )
+
+
+def assemble_lines(mode: int, indices: np.ndarray) -> np.ndarray:
+    """Group a vertex index stream into (L, 2) line segments."""
+    count = indices.shape[0]
+    if mode == enums.GL_LINES:
+        pairs = count // 2
+        return indices[: pairs * 2].reshape(pairs, 2)
+    if mode == enums.GL_LINE_STRIP:
+        if count < 2:
+            return np.zeros((0, 2), dtype=indices.dtype)
+        return np.stack([indices[:-1], indices[1:]], axis=1)
+    if mode == enums.GL_LINE_LOOP:
+        if count < 2:
+            return np.zeros((0, 2), dtype=indices.dtype)
+        nxt = np.concatenate([indices[1:], indices[:1]])
+        return np.stack([indices, nxt], axis=1)
+    raise SimulatorLimitation(f"mode {hex(mode)} is not a line mode")
+
+
+def rasterize_lines(
+    window: np.ndarray,
+    w_clip: np.ndarray,
+    segments: np.ndarray,
+    fb_width: int,
+    fb_height: int,
+) -> FragmentBatch:
+    """Width-1 line rasterisation (DDA along the major axis, the GL
+    diamond-exit rule approximated by sampling one fragment per major
+    step)."""
+    all_px, all_py, all_ids, all_t = [], [], [], []
+    for seg in segments:
+        a, b = window[seg[0]], window[seg[1]]
+        dx, dy = b[0] - a[0], b[1] - a[1]
+        steps = int(np.ceil(max(abs(dx), abs(dy))))
+        if steps == 0:
+            ts = np.array([0.0])
+        else:
+            ts = (np.arange(steps) + 0.5) / steps
+        xs = a[0] + dx * ts
+        ys = a[1] + dy * ts
+        px = np.floor(xs).astype(np.int64)
+        py = np.floor(ys).astype(np.int64)
+        keep = (px >= 0) & (px < fb_width) & (py >= 0) & (py < fb_height)
+        if not keep.any():
+            continue
+        all_px.append(px[keep])
+        all_py.append(py[keep])
+        all_t.append(ts[keep])
+        all_ids.append(
+            np.broadcast_to(
+                np.array([seg[0], seg[1], seg[1]]), (int(keep.sum()), 3)
+            ).copy()
+        )
+    if not all_px:
+        empty_f = np.zeros((0,), dtype=np.float64)
+        return FragmentBatch(
+            px=np.zeros((0,), dtype=np.int64),
+            py=np.zeros((0,), dtype=np.int64),
+            vertex_ids=np.zeros((0, 3), dtype=np.int64),
+            bary=np.zeros((0, 3)),
+            persp=np.zeros((0, 3)),
+            frag_z=empty_f,
+            frag_w=empty_f,
+        )
+    px = np.concatenate(all_px)
+    py = np.concatenate(all_py)
+    ids = np.concatenate(all_ids).astype(np.int64)
+    ts = np.concatenate(all_t)
+    bary = np.zeros((px.shape[0], 3))
+    bary[:, 0] = 1.0 - ts
+    bary[:, 1] = ts
+    w_a = w_clip[ids[:, 0]]
+    w_b = w_clip[ids[:, 1]]
+    inv_a = np.where(w_a == 0.0, 1.0, 1.0 / w_a)
+    inv_b = np.where(w_b == 0.0, 1.0, 1.0 / w_b)
+    persp_num = np.zeros_like(bary)
+    persp_num[:, 0] = bary[:, 0] * inv_a
+    persp_num[:, 1] = bary[:, 1] * inv_b
+    frag_inv_w = persp_num[:, 0] + persp_num[:, 1]
+    persp = persp_num / frag_inv_w[:, None]
+    za = window[ids[:, 0], 2]
+    zb = window[ids[:, 1], 2]
+    frag_z = bary[:, 0] * za + bary[:, 1] * zb
+    return FragmentBatch(
+        px=px, py=py, vertex_ids=ids, bary=bary, persp=persp,
+        frag_z=frag_z, frag_w=frag_inv_w,
+    )
+
+
+def rasterize_points(
+    window: np.ndarray,
+    w_clip: np.ndarray,
+    indices: np.ndarray,
+    fb_width: int,
+    fb_height: int,
+) -> FragmentBatch:
+    """GL_POINTS with point size 1: one fragment per on-screen vertex."""
+    px = np.floor(window[indices, 0]).astype(np.int64)
+    py = np.floor(window[indices, 1]).astype(np.int64)
+    keep = (px >= 0) & (px < fb_width) & (py >= 0) & (py < fb_height)
+    idx = indices[keep]
+    count = idx.shape[0]
+    bary = np.zeros((count, 3))
+    bary[:, 0] = 1.0
+    ws = w_clip[idx]
+    inv_w = np.where(ws == 0.0, 1.0, 1.0 / ws)
+    return FragmentBatch(
+        px=px[keep],
+        py=py[keep],
+        vertex_ids=np.stack([idx, idx, idx], axis=1).astype(np.int64),
+        bary=bary,
+        persp=bary.copy(),
+        frag_z=window[idx, 2],
+        frag_w=inv_w,
+    )
+
+
+def interpolate_varying(batch: FragmentBatch, per_vertex: np.ndarray) -> np.ndarray:
+    """Perspective-correct interpolation of per-vertex data.
+
+    ``per_vertex`` has shape (num_vertices, ...); the result has shape
+    (F, ...).
+    """
+    v = per_vertex[batch.vertex_ids]  # (F, 3, ...)
+    weights = batch.persp
+    weights = weights.reshape(weights.shape + (1,) * (v.ndim - 2))
+    return (v * weights).sum(axis=1)

@@ -1,0 +1,289 @@
+"""Abstract syntax tree node definitions for GLSL ES 1.00.
+
+Nodes are plain dataclasses.  Expression nodes carry a ``resolved_type``
+slot that the type checker (:mod:`repro.glsl.typecheck`) fills in; the
+interpreter relies on those annotations instead of re-deriving types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .types import GlslType
+
+
+@dataclass
+class Node:
+    """Base class: every node knows its source line."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+# ======================================================================
+# Expressions
+# ======================================================================
+@dataclass
+class Expr(Node):
+    """Base class for expressions; annotated with a resolved type and
+    a constness flag by the type checker."""
+
+    resolved_type: Optional[GlslType] = field(default=None, kw_only=True)
+    is_constant: bool = field(default=False, kw_only=True)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool = False
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Prefix ``-``, ``+``, ``!``, ``~`` (the last is reserved in ES)."""
+
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class PrefixIncDec(Expr):
+    op: str = ""  # "++" or "--"
+    operand: Expr = None
+
+
+@dataclass
+class PostfixIncDec(Expr):
+    op: str = ""  # "++" or "--"
+    operand: Expr = None
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Assignment(Expr):
+    """``lhs op rhs`` where op is ``=``, ``+=``, ``-=``, ``*=``, ``/=``."""
+
+    op: str = "="
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class Conditional(Expr):
+    """Ternary ``cond ? a : b``."""
+
+    condition: Expr = None
+    if_true: Expr = None
+    if_false: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    """Function call or constructor; disambiguated by the type checker
+    (``is_constructor`` set when the callee names a type)."""
+
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+    is_constructor: bool = field(default=False, kw_only=True)
+    constructed_type: Optional[GlslType] = field(default=None, kw_only=True)
+    #: For user function calls: mangled key into the function table.
+    resolved_signature: Optional[str] = field(default=None, kw_only=True)
+    #: True when the callee is a GLSL built-in function.
+    is_builtin: bool = field(default=False, kw_only=True)
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``expr.field`` — struct member access or vector swizzle.  The
+    type checker sets ``swizzle`` for the latter."""
+
+    base: Expr = None
+    field_name: str = ""
+    swizzle: Optional[Tuple[int, ...]] = field(default=None, kw_only=True)
+
+
+@dataclass
+class IndexAccess(Expr):
+    """``expr[index]`` — array, vector or matrix indexing."""
+
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class CommaExpr(Expr):
+    """``a, b`` sequence; value is the right operand."""
+
+    left: Expr = None
+    right: Expr = None
+
+
+# ======================================================================
+# Statements
+# ======================================================================
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class Declarator(Node):
+    """One declared name inside a declaration statement."""
+
+    name: str = ""
+    array_size: Optional[Expr] = None
+    initializer: Optional[Expr] = None
+    #: Filled by the type checker: the declared (possibly array) type.
+    resolved_type: Optional[GlslType] = field(default=None, kw_only=True)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """``const? type name (= init)? (, name2 ...)? ;``"""
+
+    type_name: str = ""
+    declarators: List[Declarator] = field(default_factory=list)
+    is_const: bool = False
+    precision: Optional[str] = None
+    #: For struct-typed declarations: the struct's GlslType.
+    struct: Optional[GlslType] = field(default=None, kw_only=True)
+
+
+@dataclass
+class IfStmt(Stmt):
+    condition: Expr = None
+    then_branch: Stmt = None
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    condition: Optional[Expr] = None
+    update: Optional[Expr] = None
+    body: Stmt = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Stmt = None
+    condition: Expr = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class DiscardStmt(Stmt):
+    pass
+
+
+@dataclass
+class CompoundStmt(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+# ======================================================================
+# Declarations at translation-unit scope
+# ======================================================================
+@dataclass
+class Param(Node):
+    """A function parameter."""
+
+    name: str = ""
+    type_name: str = ""
+    direction: str = "in"  # in | out | inout
+    array_size: Optional[Expr] = None
+    precision: Optional[str] = None
+    is_const: bool = False
+    resolved_type: Optional[GlslType] = field(default=None, kw_only=True)
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    return_type_name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: Optional[CompoundStmt] = None  # None for a prototype
+    resolved_return_type: Optional[GlslType] = field(default=None, kw_only=True)
+
+
+@dataclass
+class GlobalDecl(Node):
+    """A global variable declaration (attribute/uniform/varying/const/
+    plain global)."""
+
+    qualifier: Optional[str] = None  # attribute | uniform | varying | None
+    is_const: bool = False
+    is_invariant: bool = False
+    precision: Optional[str] = None
+    type_name: str = ""
+    declarators: List[Declarator] = field(default_factory=list)
+    struct: Optional[GlslType] = field(default=None, kw_only=True)
+
+
+@dataclass
+class PrecisionDecl(Node):
+    """``precision mediump float;`` — recorded, affects the default
+    precision table."""
+
+    precision: str = ""
+    type_name: str = ""
+
+
+@dataclass
+class StructDef(Node):
+    """A named struct definition at global scope."""
+
+    name: str = ""
+    resolved: Optional[GlslType] = field(default=None, kw_only=True)
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A whole shader."""
+
+    declarations: List[Node] = field(default_factory=list)

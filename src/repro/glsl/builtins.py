@@ -1,0 +1,403 @@
+"""GLSL ES 1.00 built-in functions (spec chapter 8).
+
+Each built-in is registered with one or more *signatures* and a
+vectorised numpy implementation.  Signatures use small pattern objects
+so the genType families (``sin(float|vec2|vec3|vec4)``) are expressed
+once; overload resolution binds the pattern to a concrete type.
+
+Implementations receive already-broadcast numpy arrays (lane axis
+first) and return the result array; the interpreter applies the
+device float-precision model afterwards and feeds the op counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .types import (
+    BOOL,
+    FLOAT,
+    INT,
+    SAMPLER2D,
+    SAMPLERCUBE,
+    VEC2,
+    VEC3,
+    VEC4,
+    BaseType,
+    GlslType,
+    TypeKind,
+    vector_type,
+)
+
+# ----------------------------------------------------------------------
+# Signature patterns
+# ----------------------------------------------------------------------
+class _Pattern:
+    """Base class for type patterns in built-in signatures."""
+
+    def matches(self, t: GlslType, binding: dict) -> bool:
+        raise NotImplementedError
+
+
+class _GenF(_Pattern):
+    """float | vec2 | vec3 | vec4 — all uses bind to the same type."""
+
+    def matches(self, t: GlslType, binding: dict) -> bool:
+        if not t.is_float_based() or t.is_matrix():
+            return False
+        if "gen" in binding:
+            return binding["gen"] == t
+        binding["gen"] = t
+        return True
+
+
+class _VecF(_Pattern):
+    """vec2 | vec3 | vec4 — same-binding."""
+
+    def matches(self, t: GlslType, binding: dict) -> bool:
+        if not (t.is_vector() and t.base == BaseType.FLOAT):
+            return False
+        if "gen" in binding:
+            return binding["gen"] == t
+        binding["gen"] = t
+        return True
+
+
+class _VecFI(_Pattern):
+    """vec or ivec of any size — same-binding (relational functions)."""
+
+    def matches(self, t: GlslType, binding: dict) -> bool:
+        if not (t.is_vector() and t.base in (BaseType.FLOAT, BaseType.INT)):
+            return False
+        if "gen" in binding:
+            return binding["gen"] == t
+        binding["gen"] = t
+        return True
+
+
+class _VecB(_Pattern):
+    """bvec of any size — same-binding."""
+
+    def matches(self, t: GlslType, binding: dict) -> bool:
+        if not (t.is_vector() and t.base == BaseType.BOOL):
+            return False
+        if "gen" in binding:
+            return binding["gen"] == t
+        binding["gen"] = t
+        return True
+
+
+class _Exact(_Pattern):
+    def __init__(self, t: GlslType):
+        self.t = t
+
+    def matches(self, t: GlslType, binding: dict) -> bool:
+        return t == self.t
+
+
+class _Mat(_Pattern):
+    """mat2 | mat3 | mat4 — same-binding."""
+
+    def matches(self, t: GlslType, binding: dict) -> bool:
+        if not t.is_matrix():
+            return False
+        if "gen" in binding:
+            return binding["gen"] == t
+        binding["gen"] = t
+        return True
+
+
+GENF = _GenF()
+VECF = _VecF()
+VECFI = _VecFI()
+VECB = _VecB()
+MAT = _Mat()
+
+
+# Return-type resolvers: given the binding, produce the concrete type.
+def _ret_gen(binding: dict) -> GlslType:
+    return binding["gen"]
+
+
+def _ret_float(binding: dict) -> GlslType:
+    return FLOAT
+
+
+def _ret_bool(binding: dict) -> GlslType:
+    return BOOL
+
+
+def _ret_bvec_of_gen(binding: dict) -> GlslType:
+    return vector_type(BaseType.BOOL, binding["gen"].size)
+
+
+def _ret_exact(t: GlslType) -> Callable[[dict], GlslType]:
+    return lambda binding: t
+
+
+@dataclass
+class BuiltinOverload:
+    """One resolvable overload of a built-in function."""
+
+    name: str
+    params: Tuple[object, ...]
+    ret: Callable[[dict], GlslType]
+    impl: Callable
+    #: 'alu' = cheap op, 'sfu' = special-function unit (transcendental),
+    #: 'tex' = texture fetch. Feeds the performance counters.
+    category: str = "alu"
+    #: Unique key used by the interpreter to dispatch.
+    key: str = ""
+
+    def match(self, arg_types: Sequence[GlslType]) -> Optional[dict]:
+        if len(arg_types) != len(self.params):
+            return None
+        binding: dict = {}
+        for pattern, arg_type in zip(self.params, arg_types):
+            matcher = pattern if isinstance(pattern, _Pattern) else _Exact(pattern)
+            if not matcher.matches(arg_type, binding):
+                return None
+        return binding
+
+
+REGISTRY: Dict[str, List[BuiltinOverload]] = {}
+
+
+def _register(name, params, ret, impl, category="alu"):
+    overload = BuiltinOverload(
+        name=name,
+        params=tuple(params),
+        ret=ret,
+        impl=impl,
+        category=category,
+        key=f"{name}/{len(REGISTRY.get(name, []))}",
+    )
+    REGISTRY.setdefault(name, []).append(overload)
+    return overload
+
+
+def resolve(name: str, arg_types: Sequence[GlslType]) -> Optional[Tuple[BuiltinOverload, GlslType]]:
+    """Find the overload matching the argument types; returns the
+    overload and its concrete return type, or None."""
+    for overload in REGISTRY.get(name, ()):
+        binding = overload.match(arg_types)
+        if binding is not None:
+            return overload, overload.ret(binding)
+    return None
+
+
+def is_builtin(name: str) -> bool:
+    return name in REGISTRY
+
+
+# ----------------------------------------------------------------------
+# numpy helpers
+# ----------------------------------------------------------------------
+def _as2d(a: np.ndarray) -> np.ndarray:
+    """Scalars (N,) -> (N,1) so they broadcast against vectors (N,K)."""
+    return a.reshape(a.shape[0], 1) if a.ndim == 1 else a
+
+
+def _mixed(op):
+    """Wrap a binary ufunc so float-scalar second/third operands
+    broadcast against vector firsts (min(vec3, float) etc.)."""
+
+    def wrapper(*arrays):
+        widest = max(a.ndim for a in arrays)
+        if widest > 1:
+            arrays = [_as2d(a) if a.ndim == 1 else a for a in arrays]
+        return op(*arrays)
+
+    return wrapper
+
+
+# ----------------------------------------------------------------------
+# 8.1 Angle and trigonometry
+# ----------------------------------------------------------------------
+_register("radians", [GENF], _ret_gen, lambda x: x * (np.pi / 180.0))
+_register("degrees", [GENF], _ret_gen, lambda x: x * (180.0 / np.pi))
+_register("sin", [GENF], _ret_gen, np.sin, "sfu")
+_register("cos", [GENF], _ret_gen, np.cos, "sfu")
+_register("tan", [GENF], _ret_gen, np.tan, "sfu")
+_register("asin", [GENF], _ret_gen, np.arcsin, "sfu")
+_register("acos", [GENF], _ret_gen, np.arccos, "sfu")
+_register("atan", [GENF, GENF], _ret_gen, np.arctan2, "sfu")
+_register("atan", [GENF], _ret_gen, np.arctan, "sfu")
+
+# ----------------------------------------------------------------------
+# 8.2 Exponential
+# ----------------------------------------------------------------------
+def _pow(x, y):
+    with np.errstate(invalid="ignore"):
+        return np.power(x, y)
+
+
+def _inversesqrt(x):
+    with np.errstate(divide="ignore"):
+        return 1.0 / np.sqrt(x)
+
+
+_register("pow", [GENF, GENF], _ret_gen, _pow, "sfu")
+_register("exp", [GENF], _ret_gen, np.exp, "sfu")
+_register("log", [GENF], _ret_gen, np.log, "sfu")
+_register("exp2", [GENF], _ret_gen, np.exp2, "sfu")
+_register("log2", [GENF], _ret_gen, np.log2, "sfu")
+_register("sqrt", [GENF], _ret_gen, np.sqrt, "sfu")
+_register("inversesqrt", [GENF], _ret_gen, _inversesqrt, "sfu")
+
+# ----------------------------------------------------------------------
+# 8.3 Common
+# ----------------------------------------------------------------------
+def _fract(x):
+    return x - np.floor(x)
+
+
+def _mod(x, y):
+    # GLSL mod: x - y*floor(x/y)  (sign follows y, unlike C fmod).
+    return x - y * np.floor(x / y)
+
+
+def _clamp(x, lo, hi):
+    return np.minimum(np.maximum(x, lo), hi)
+
+
+def _mix(x, y, a):
+    return x * (1.0 - a) + y * a
+
+
+def _step(edge, x):
+    return np.where(x < edge, 0.0, 1.0)
+
+
+def _smoothstep(edge0, edge1, x):
+    t = _clamp((x - edge0) / (edge1 - edge0), 0.0, 1.0)
+    return t * t * (3.0 - 2.0 * t)
+
+
+_register("abs", [GENF], _ret_gen, np.abs)
+_register("sign", [GENF], _ret_gen, np.sign)
+_register("floor", [GENF], _ret_gen, np.floor)
+_register("ceil", [GENF], _ret_gen, np.ceil)
+_register("fract", [GENF], _ret_gen, _fract)
+_register("mod", [GENF, GENF], _ret_gen, _mod)
+_register("mod", [VECF, FLOAT], _ret_gen, _mixed(_mod))
+_register("min", [GENF, GENF], _ret_gen, np.minimum)
+_register("min", [VECF, FLOAT], _ret_gen, _mixed(np.minimum))
+_register("max", [GENF, GENF], _ret_gen, np.maximum)
+_register("max", [VECF, FLOAT], _ret_gen, _mixed(np.maximum))
+_register("clamp", [GENF, GENF, GENF], _ret_gen, _clamp)
+_register("clamp", [VECF, FLOAT, FLOAT], _ret_gen, _mixed(_clamp))
+_register("mix", [GENF, GENF, GENF], _ret_gen, _mix)
+_register("mix", [VECF, VECF, FLOAT], _ret_gen, _mixed(_mix))
+_register("step", [GENF, GENF], _ret_gen, _step)
+_register("step", [FLOAT, VECF], _ret_gen, _mixed(_step))
+_register("smoothstep", [GENF, GENF, GENF], _ret_gen, _smoothstep)
+_register("smoothstep", [FLOAT, FLOAT, VECF], _ret_gen, _mixed(_smoothstep))
+
+# ----------------------------------------------------------------------
+# 8.4 Geometric
+# ----------------------------------------------------------------------
+def _length(x):
+    if x.ndim == 1:
+        return np.abs(x)
+    return np.sqrt(np.sum(x * x, axis=1))
+
+
+def _distance(a, b):
+    return _length(a - b)
+
+
+def _dot(a, b):
+    if a.ndim == 1:
+        return a * b
+    return np.sum(a * b, axis=1)
+
+
+def _cross(a, b):
+    return np.cross(a, b)
+
+
+def _normalize(x):
+    if x.ndim == 1:
+        return np.sign(x)
+    norm = np.sqrt(np.sum(x * x, axis=1, keepdims=True))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return x / norm
+
+
+def _faceforward(n, i, nref):
+    d = _dot(nref, i)
+    cond = (d < 0.0).reshape(-1, *([1] * (n.ndim - 1)))
+    return np.where(cond, n, -n)
+
+
+def _reflect(i, n):
+    d = _dot(n, i)
+    if i.ndim > 1:
+        d = d.reshape(-1, 1)
+    return i - 2.0 * d * n
+
+
+def _refract(i, n, eta):
+    d = _dot(n, i)
+    if i.ndim > 1:
+        d = d.reshape(-1, 1)
+        eta = _as2d(eta)
+    k = 1.0 - eta * eta * (1.0 - d * d)
+    out = eta * i - (eta * d + np.sqrt(np.maximum(k, 0.0))) * n
+    return np.where(k < 0.0, 0.0, out)
+
+
+_register("length", [GENF], _ret_float, _length, "sfu")
+_register("distance", [GENF, GENF], _ret_float, _distance, "sfu")
+_register("dot", [GENF, GENF], _ret_float, _dot)
+_register("cross", [VEC3, VEC3], _ret_exact(VEC3), _cross)
+_register("normalize", [GENF], _ret_gen, _normalize, "sfu")
+_register("faceforward", [GENF, GENF, GENF], _ret_gen, _faceforward)
+_register("reflect", [GENF, GENF], _ret_gen, _reflect)
+_register("refract", [GENF, GENF, FLOAT], _ret_gen, _refract, "sfu")
+
+# ----------------------------------------------------------------------
+# 8.5 Matrix
+# ----------------------------------------------------------------------
+_register("matrixCompMult", [MAT, MAT], _ret_gen, lambda a, b: a * b)
+
+# ----------------------------------------------------------------------
+# 8.6 Vector relational
+# ----------------------------------------------------------------------
+_register("lessThan", [VECFI, VECFI], _ret_bvec_of_gen, np.less)
+_register("lessThanEqual", [VECFI, VECFI], _ret_bvec_of_gen, np.less_equal)
+_register("greaterThan", [VECFI, VECFI], _ret_bvec_of_gen, np.greater)
+_register("greaterThanEqual", [VECFI, VECFI], _ret_bvec_of_gen, np.greater_equal)
+_register("equal", [VECFI, VECFI], _ret_bvec_of_gen, np.equal)
+_register("equal", [VECB, VECB], _ret_bvec_of_gen, np.equal)
+_register("notEqual", [VECFI, VECFI], _ret_bvec_of_gen, np.not_equal)
+_register("notEqual", [VECB, VECB], _ret_bvec_of_gen, np.not_equal)
+_register("any", [VECB], _ret_bool, lambda x: np.any(x, axis=1))
+_register("all", [VECB], _ret_bool, lambda x: np.all(x, axis=1))
+_register("not", [VECB], _ret_bvec_of_gen, np.logical_not)
+
+# ----------------------------------------------------------------------
+# 8.7 Texture lookup — implemented by the interpreter itself, because
+# they need the bound sampler object and the fragment mask.  The impl
+# slot holds a marker string.
+# ----------------------------------------------------------------------
+_register("texture2D", [SAMPLER2D, VEC2], _ret_exact(VEC4), "texture2D", "tex")
+_register("texture2D", [SAMPLER2D, VEC2, FLOAT], _ret_exact(VEC4), "texture2D", "tex")
+_register("texture2DProj", [SAMPLER2D, VEC3], _ret_exact(VEC4), "texture2DProj3", "tex")
+_register("texture2DProj", [SAMPLER2D, VEC4], _ret_exact(VEC4), "texture2DProj4", "tex")
+_register("texture2DLod", [SAMPLER2D, VEC2, FLOAT], _ret_exact(VEC4), "texture2D", "tex")
+_register("textureCube", [SAMPLERCUBE, VEC3], _ret_exact(VEC4), "textureCube", "tex")
+
+#: Names of the texture built-ins (dispatch in the interpreter).
+TEXTURE_BUILTINS = {"texture2D", "texture2DProj", "texture2DLod", "textureCube"}
+
+#: Overload key -> overload, for interpreter dispatch.
+OVERLOADS_BY_KEY: Dict[str, BuiltinOverload] = {
+    overload.key: overload
+    for overloads in REGISTRY.values()
+    for overload in overloads
+}

@@ -1,0 +1,61 @@
+"""Error types raised by the GLSL ES 1.00 front end.
+
+Every error carries a source position so that :class:`repro.gles2.shader`
+objects can assemble a driver-style info log (``ERROR: 0:12: ...``) the
+way a real OpenGL ES 2 implementation would.
+"""
+
+from __future__ import annotations
+
+
+class GlslError(Exception):
+    """Base class for all shader-compilation problems.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    line:
+        1-based source line the problem was detected on (0 if unknown).
+    column:
+        1-based source column (0 if unknown).
+    """
+
+    #: Label used in the info log, mirroring driver conventions.
+    stage = "ERROR"
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(message)
+        self.message = message
+        self.line = line
+        self.column = column
+
+    def info_log_entry(self) -> str:
+        """Format the error like a GL shader info log line."""
+        return f"{self.stage}: 0:{self.line}: {self.message}"
+
+
+class GlslSyntaxError(GlslError):
+    """Lexical or grammatical error detected by the lexer or parser."""
+
+
+class GlslPreprocessorError(GlslError):
+    """Malformed or unsupported preprocessor directive."""
+
+
+class GlslTypeError(GlslError):
+    """Semantic error detected by the type checker (bad types, bad
+    qualifiers, unresolved names, invalid constructors, ...)."""
+
+
+class GlslRuntimeError(GlslError):
+    """Error raised while *executing* a shader (should be rare: the
+    type checker validates programs up front, so runtime errors signal
+    resource problems such as an unbound sampler)."""
+
+    stage = "RUNTIME"
+
+
+class GlslLimitError(GlslError):
+    """A shader exceeded an implementation-defined limit (loop
+    iteration cap, recursion, expression nesting depth)."""

@@ -1,0 +1,221 @@
+"""Tokeniser for GLSL ES 1.00 source.
+
+Operates on *preprocessed* source (see :mod:`repro.glsl.preprocessor`)
+but tolerates raw source too, since ``#`` directives are stripped
+earlier.  Tracks line/column for every token so later stages can
+produce driver-style info logs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import GlslSyntaxError
+
+
+class TokenType:
+    """Token categories."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INTCONST = "intconst"
+    FLOATCONST = "floatconst"
+    BOOLCONST = "boolconst"
+    OP = "op"
+    EOF = "eof"
+
+
+#: Keywords of GLSL ES 1.00 (spec §3.6).
+KEYWORDS = frozenset(
+    """
+    attribute const uniform varying
+    break continue do for while
+    if else
+    in out inout
+    float int void bool true false
+    lowp mediump highp precision invariant
+    discard return
+    mat2 mat3 mat4
+    vec2 vec3 vec4 ivec2 ivec3 ivec4 bvec2 bvec3 bvec4
+    sampler2D samplerCube
+    struct
+    """.split()
+)
+
+#: Words reserved for future use — using one is a compile-time error
+#: (spec §3.6).  A representative subset.
+RESERVED = frozenset(
+    """
+    asm class union enum typedef template this packed goto switch default
+    inline noinline volatile public static extern external interface flat
+    long short double half fixed unsigned superp input output
+    hvec2 hvec3 hvec4 dvec2 dvec3 dvec4 fvec2 fvec3 fvec4
+    sampler1D sampler3D sampler1DShadow sampler2DShadow sampler2DRect
+    sampler3DRect sampler2DRectShadow
+    sizeof cast namespace using
+    """.split()
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+OPERATORS = [
+    "<<=", ">>=",
+    "++", "--", "<=", ">=", "==", "!=", "&&", "||", "^^",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+    "(", ")", "[", "]", "{", "}",
+    ".", ",", ";", ":", "?",
+    "+", "-", "*", "/", "%",
+    "<", ">", "=", "!", "&", "|", "^", "~",
+]
+
+_FLOAT_RE = re.compile(
+    r"""
+    (?:
+        \d+\.\d*(?:[eE][+-]?\d+)?   # 1. , 1.5 , 1.5e3
+      | \.\d+(?:[eE][+-]?\d+)?     # .5 , .5e-2
+      | \d+[eE][+-]?\d+            # 1e3
+    )
+    """,
+    re.VERBOSE,
+)
+_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]+")
+_OCT_RE = re.compile(r"0[0-7]*")
+_DEC_RE = re.compile(r"\d+")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"
+
+
+def strip_comments(source: str) -> str:
+    """Replace comments with whitespace, preserving line structure.
+
+    Block comments keep their newlines so positions stay accurate;
+    everything else inside a comment becomes a single space (spec:
+    comments are replaced by one space).
+    """
+    out: List[str] = []
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        nxt = source[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = source.find("\n", i)
+            if j == -1:
+                j = n
+            out.append(" ")
+            i = j
+        elif ch == "/" and nxt == "*":
+            j = source.find("*/", i + 2)
+            if j == -1:
+                raise GlslSyntaxError(
+                    "unterminated block comment",
+                    line=source.count("\n", 0, i) + 1,
+                )
+            body = source[i : j + 2]
+            out.append(" " + "\n" * body.count("\n"))
+            i = j + 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise GLSL source into a token list ending with an EOF token."""
+    return list(_scan(strip_comments(source)))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    line = 1
+    line_start = 0
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+        col = i - line_start + 1
+
+        m = _IDENT_RE.match(text, i)
+        if m:
+            word = m.group()
+            if word in ("true", "false"):
+                yield Token(TokenType.BOOLCONST, word, line, col)
+            elif word in KEYWORDS:
+                yield Token(TokenType.KEYWORD, word, line, col)
+            elif word in RESERVED:
+                raise GlslSyntaxError(
+                    f"'{word}' is a reserved word", line=line, column=col
+                )
+            elif "__" in word:
+                raise GlslSyntaxError(
+                    f"identifier '{word}' contains a double underscore "
+                    "(reserved)",
+                    line=line,
+                    column=col,
+                )
+            else:
+                yield Token(TokenType.IDENT, word, line, col)
+            i = m.end()
+            continue
+
+        m = _FLOAT_RE.match(text, i)
+        if m:
+            yield Token(TokenType.FLOATCONST, m.group(), line, col)
+            i = m.end()
+            continue
+
+        m = _HEX_RE.match(text, i)
+        if m:
+            yield Token(TokenType.INTCONST, m.group(), line, col)
+            i = m.end()
+            continue
+
+        if ch == "0":
+            m = _OCT_RE.match(text, i)
+            yield Token(TokenType.INTCONST, m.group(), line, col)
+            i = m.end()
+            continue
+
+        m = _DEC_RE.match(text, i)
+        if m:
+            yield Token(TokenType.INTCONST, m.group(), line, col)
+            i = m.end()
+            continue
+
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                yield Token(TokenType.OP, op, line, col)
+                i += len(op)
+                break
+        else:
+            raise GlslSyntaxError(
+                f"unexpected character {ch!r}", line=line, column=col
+            )
+    yield Token(TokenType.EOF, "", line, 1)
+
+
+def int_literal_value(text: str) -> int:
+    """Decode a GLSL integer literal (decimal, octal or hex)."""
+    if text.lower().startswith("0x"):
+        return int(text, 16)
+    if text.startswith("0") and len(text) > 1:
+        return int(text, 8)
+    return int(text, 10)

@@ -1,0 +1,310 @@
+"""Minimal GLSL ES preprocessor.
+
+Supports the directives shaders in this project (and typical GPGPU
+shaders) actually use:
+
+* ``#version`` — only ``100`` is accepted (OpenGL ES 2 / GLSL ES 1.00).
+* ``#define`` / ``#undef`` — object-like and function-like macros.
+* ``#ifdef`` / ``#ifndef`` / ``#if`` / ``#elif`` / ``#else`` / ``#endif``
+  with a small constant-expression evaluator (integer arithmetic,
+  comparisons, ``!``, ``&&``, ``||`` and ``defined(NAME)``).
+* ``#error``, ``#pragma`` (ignored), ``#extension`` (recorded),
+  ``#line`` (adjusts reported line numbers is *not* implemented; the
+  directive is accepted and ignored).
+
+The output preserves the line count of the input so token positions in
+later stages match the original source.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .errors import GlslPreprocessorError
+
+#: Macros predefined by GLSL ES 1.00 (spec §3.4).
+PREDEFINED = {"GL_ES": "1", "__VERSION__": "100"}
+
+_DIRECTIVE_RE = re.compile(r"^\s*#\s*(\w*)\s*(.*?)\s*$")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_DEFINE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"(?:\((?P<params>[^)]*)\))?"
+    r"\s*(?P<body>.*)$"
+)
+
+
+@dataclass
+class Macro:
+    """A preprocessor macro definition."""
+
+    name: str
+    body: str
+    params: Optional[List[str]] = None
+
+    @property
+    def is_function_like(self) -> bool:
+        return self.params is not None
+
+
+@dataclass
+class PreprocessResult:
+    """Output of :func:`preprocess`."""
+
+    source: str
+    version: int = 100
+    extensions: Dict[str, str] = field(default_factory=dict)
+    pragmas: List[str] = field(default_factory=list)
+
+
+def preprocess(source: str, predefined: Optional[Dict[str, str]] = None) -> PreprocessResult:
+    """Run the preprocessor over GLSL source.
+
+    Returns the expanded source (same number of lines as the input)
+    plus metadata gathered from ``#version``/``#extension``/``#pragma``.
+    """
+    macros: Dict[str, Macro] = {
+        name: Macro(name, body) for name, body in PREDEFINED.items()
+    }
+    for name, body in (predefined or {}).items():
+        macros[name] = Macro(name, body)
+
+    result = PreprocessResult(source="")
+    out_lines: List[str] = []
+    # Stack of (taken_now, taken_ever, in_else) for conditional nesting.
+    cond_stack: List[List[bool]] = []
+
+    def active() -> bool:
+        return all(frame[0] for frame in cond_stack)
+
+    lines = source.split("\n")
+    for lineno, raw in enumerate(lines, start=1):
+        m = _DIRECTIVE_RE.match(raw)
+        if not m or not raw.lstrip().startswith("#"):
+            if active():
+                out_lines.append(_expand(raw, macros, lineno))
+            else:
+                out_lines.append("")
+            continue
+
+        directive, rest = m.group(1), m.group(2)
+        out_lines.append("")  # keep line numbering stable
+
+        if directive == "" :
+            continue  # null directive
+        if directive in ("ifdef", "ifndef"):
+            name_m = _IDENT_RE.match(rest)
+            if not name_m:
+                raise GlslPreprocessorError(
+                    f"#{directive} requires a macro name", line=lineno
+                )
+            defined_now = name_m.group() in macros
+            taken = defined_now if directive == "ifdef" else not defined_now
+            taken = taken and active()
+            cond_stack.append([taken, taken, False])
+            continue
+        if directive == "if":
+            taken = bool(_eval_condition(rest, macros, lineno)) and active()
+            cond_stack.append([taken, taken, False])
+            continue
+        if directive == "elif":
+            if not cond_stack or cond_stack[-1][2]:
+                raise GlslPreprocessorError("#elif without #if", line=lineno)
+            frame = cond_stack[-1]
+            parent_active = all(f[0] for f in cond_stack[:-1])
+            if frame[1]:
+                frame[0] = False
+            else:
+                frame[0] = bool(_eval_condition(rest, macros, lineno)) and parent_active
+                frame[1] = frame[1] or frame[0]
+            continue
+        if directive == "else":
+            if not cond_stack or cond_stack[-1][2]:
+                raise GlslPreprocessorError("#else without #if", line=lineno)
+            frame = cond_stack[-1]
+            parent_active = all(f[0] for f in cond_stack[:-1])
+            frame[0] = (not frame[1]) and parent_active
+            frame[1] = True
+            frame[2] = True
+            continue
+        if directive == "endif":
+            if not cond_stack:
+                raise GlslPreprocessorError("#endif without #if", line=lineno)
+            cond_stack.pop()
+            continue
+
+        if not active():
+            continue
+
+        if directive == "version":
+            if rest.split()[:1] != ["100"]:
+                raise GlslPreprocessorError(
+                    f"unsupported #version '{rest}' (only 100 is valid "
+                    "for OpenGL ES 2)",
+                    line=lineno,
+                )
+            result.version = 100
+        elif directive == "define":
+            dm = _DEFINE_RE.match(rest)
+            if not dm:
+                raise GlslPreprocessorError("malformed #define", line=lineno)
+            params = dm.group("params")
+            macro = Macro(
+                dm.group("name"),
+                dm.group("body"),
+                params=[p.strip() for p in params.split(",") if p.strip()]
+                if params is not None
+                else None,
+            )
+            macros[macro.name] = macro
+        elif directive == "undef":
+            name_m = _IDENT_RE.match(rest)
+            if name_m:
+                macros.pop(name_m.group(), None)
+        elif directive == "error":
+            raise GlslPreprocessorError(f"#error: {rest}", line=lineno)
+        elif directive == "pragma":
+            result.pragmas.append(rest)
+        elif directive == "extension":
+            parts = [p.strip() for p in rest.split(":")]
+            if len(parts) == 2:
+                result.extensions[parts[0]] = parts[1]
+        elif directive == "line":
+            pass  # accepted, positions unadjusted
+        else:
+            raise GlslPreprocessorError(
+                f"unknown directive '#{directive}'", line=lineno
+            )
+
+    if cond_stack:
+        raise GlslPreprocessorError("unterminated #if block", line=len(lines))
+
+    result.source = "\n".join(out_lines)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Macro expansion
+# ----------------------------------------------------------------------
+#: Expansion limits: self-referential macros like ``#define A A A``
+#: grow the text exponentially with depth, so both the recursion depth
+#: and the expanded line length are capped.
+_MAX_EXPANSION_DEPTH = 32
+_MAX_EXPANDED_LENGTH = 1 << 16
+
+
+def _expand(line: str, macros: Dict[str, Macro], lineno: int, depth: int = 0) -> str:
+    if depth > _MAX_EXPANSION_DEPTH:
+        raise GlslPreprocessorError("macro expansion too deep", line=lineno)
+    if len(line) > _MAX_EXPANDED_LENGTH:
+        raise GlslPreprocessorError(
+            "macro expansion too large (self-referential macro?)", line=lineno
+        )
+    out: List[str] = []
+    i, n = 0, len(line)
+    changed = False
+    while i < n:
+        m = _IDENT_RE.match(line, i)
+        if not m:
+            out.append(line[i])
+            i += 1
+            continue
+        word = m.group()
+        i = m.end()
+        macro = macros.get(word)
+        if macro is None:
+            out.append(word)
+            continue
+        if macro.is_function_like:
+            j = i
+            while j < n and line[j] in " \t":
+                j += 1
+            if j >= n or line[j] != "(":
+                out.append(word)
+                continue
+            args, i = _parse_macro_args(line, j, lineno)
+            if len(args) != len(macro.params) and not (
+                len(macro.params) == 0 and args == [""]
+            ):
+                raise GlslPreprocessorError(
+                    f"macro '{word}' expects {len(macro.params)} args, "
+                    f"got {len(args)}",
+                    line=lineno,
+                )
+            body = macro.body
+            # Whole-token parameter substitution.
+            for param, arg in zip(macro.params, args):
+                body = re.sub(
+                    rf"\b{re.escape(param)}\b", arg.strip(), body
+                )
+            out.append(body)
+            changed = True
+        else:
+            out.append(macro.body)
+            changed = True
+    text = "".join(out)
+    if changed:
+        return _expand(text, macros, lineno, depth + 1)
+    return text
+
+
+def _parse_macro_args(line: str, open_paren: int, lineno: int) -> Tuple[List[str], int]:
+    """Split the argument list starting at ``line[open_paren] == '('``.
+    Returns (args, index_after_close_paren)."""
+    depth = 0
+    args: List[str] = []
+    current: List[str] = []
+    i = open_paren
+    while i < len(line):
+        ch = line[i]
+        if ch == "(":
+            depth += 1
+            if depth > 1:
+                current.append(ch)
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                args.append("".join(current))
+                return args, i + 1
+            current.append(ch)
+        elif ch == "," and depth == 1:
+            args.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    raise GlslPreprocessorError("unterminated macro argument list", line=lineno)
+
+
+# ----------------------------------------------------------------------
+# #if condition evaluation
+# ----------------------------------------------------------------------
+_DEFINED_RE = re.compile(r"defined\s*(?:\(\s*(\w+)\s*\)|(\w+))")
+_SAFE_EXPR_RE = re.compile(r"^[\d\s()+\-*/%<>=!&|^~]*$")
+
+
+def _eval_condition(expr: str, macros: Dict[str, Macro], lineno: int) -> int:
+    def repl_defined(m: "re.Match") -> str:
+        name = m.group(1) or m.group(2)
+        return "1" if name in macros else "0"
+
+    text = _DEFINED_RE.sub(repl_defined, expr)
+    text = _expand(text, macros, lineno)
+    # Any identifier left undefined evaluates to 0 (C preprocessor rule).
+    text = _IDENT_RE.sub("0", text)
+    # Map C logical operators onto Python.
+    text = text.replace("&&", " and ").replace("||", " or ")
+    text = re.sub(r"!(?!=)", " not ", text)
+    check = text.replace(" and ", "").replace(" or ", "").replace(" not ", "")
+    if not _SAFE_EXPR_RE.match(check):
+        raise GlslPreprocessorError(
+            f"cannot evaluate #if condition: {expr!r}", line=lineno
+        )
+    try:
+        return int(bool(eval(text, {"__builtins__": {}}, {})))  # noqa: S307
+    except Exception as exc:
+        raise GlslPreprocessorError(
+            f"invalid #if condition {expr!r}: {exc}", line=lineno
+        )

@@ -1,0 +1,52 @@
+"""Ready-made GPGPU kernels.
+
+The paper's two evaluation benchmarks (``sum`` — a streaming add, and
+``sgemm``) plus a small standard library other examples build on
+(saxpy, scale, multi-pass reduction).
+"""
+
+from .elementwise import (
+    make_saxpy_kernel,
+    make_scale_kernel,
+    make_sum_kernel,
+)
+from .minmax import (
+    argmin_via_encoding,
+    make_minmax_step_kernel,
+    reduce_max,
+    reduce_min,
+)
+from .reduction import make_reduce_step_kernel, reduce_sum
+from .scan import exclusive_scan, inclusive_scan, make_scan_step_kernel
+from .sgemm import make_sgemm_kernel, sgemm_index_body
+from .sort import bitonic_sort, make_bitonic_step_kernel, sort_host_array
+from .transform import (
+    convolve1d,
+    make_convolve1d_kernel,
+    make_transpose_kernel,
+    transpose,
+)
+
+__all__ = [
+    "make_sum_kernel",
+    "make_saxpy_kernel",
+    "make_scale_kernel",
+    "make_sgemm_kernel",
+    "sgemm_index_body",
+    "make_reduce_step_kernel",
+    "reduce_sum",
+    "make_scan_step_kernel",
+    "inclusive_scan",
+    "exclusive_scan",
+    "make_transpose_kernel",
+    "transpose",
+    "make_convolve1d_kernel",
+    "convolve1d",
+    "make_minmax_step_kernel",
+    "reduce_min",
+    "reduce_max",
+    "argmin_via_encoding",
+    "bitonic_sort",
+    "make_bitonic_step_kernel",
+    "sort_host_array",
+]

@@ -1,0 +1,51 @@
+"""Elementwise (map) kernels.
+
+``sum`` is the paper's first benchmark: "a simple streaming operation
+(addition) on two arrays" (§V), instantiated once per input format —
+the evaluation runs the int32 and float32 configurations.
+"""
+
+from __future__ import annotations
+
+from ..core.api.device import GpgpuDevice
+from ..core.api.kernel import Kernel
+from ..core.numerics.formats import get_format
+
+
+def make_sum_kernel(device: GpgpuDevice, fmt) -> Kernel:
+    """The paper's ``sum`` benchmark kernel: ``out[i] = a[i] + b[i]``.
+
+    Works for every §IV format; integer formats stay exact within the
+    fp32 24-bit envelope the paper states (§IV-C).
+    """
+    fmt = get_format(fmt)
+    return device.kernel(
+        name=f"sum_{fmt.name}",
+        inputs=[("a", fmt), ("b", fmt)],
+        output=fmt,
+        body="result = a + b;",
+    )
+
+
+def make_saxpy_kernel(device: GpgpuDevice, fmt="float32") -> Kernel:
+    """``out[i] = alpha * x[i] + y[i]`` with a uniform ``u_alpha``."""
+    fmt = get_format(fmt)
+    return device.kernel(
+        name=f"saxpy_{fmt.name}",
+        inputs=[("x", fmt), ("y", fmt)],
+        output=fmt,
+        body="result = u_alpha * x + y;",
+        uniforms=[("u_alpha", "float")],
+    )
+
+
+def make_scale_kernel(device: GpgpuDevice, fmt="float32") -> Kernel:
+    """``out[i] = u_factor * a[i]``."""
+    fmt = get_format(fmt)
+    return device.kernel(
+        name=f"scale_{fmt.name}",
+        inputs=[("a", fmt)],
+        output=fmt,
+        body="result = u_factor * a;",
+        uniforms=[("u_factor", "float")],
+    )

@@ -1,0 +1,63 @@
+"""Multi-pass parallel reduction.
+
+ES 2 fragments cannot communicate, so reductions run as a ping-pong
+of gather kernels, each pass halving the array until one element
+remains — the classic GPGPU pattern the paper's framework enables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.api.buffer import GpuArray
+from ..core.api.device import GpgpuDevice
+from ..core.api.kernel import Kernel
+from ..core.numerics.formats import get_format
+
+_REDUCE_BODY = """
+float lo = gpgpu_index * 2.0;
+float hi = lo + 1.0;
+float left = fetch_a(lo);
+float right = hi < u_len ? fetch_a(hi) : 0.0;
+result = left + right;
+"""
+
+
+def make_reduce_step_kernel(device: GpgpuDevice, fmt) -> Kernel:
+    """One halving pass: ``out[i] = a[2i] + a[2i+1]`` (odd tail padded
+    with zero via the ``u_len`` guard)."""
+    fmt = get_format(fmt)
+    return device.kernel(
+        name=f"reduce_step_{fmt.name}",
+        inputs=[("a", fmt)],
+        output=fmt,
+        body=_REDUCE_BODY,
+        uniforms=[("u_len", "float")],
+        mode="gather",
+    )
+
+
+def reduce_sum(device: GpgpuDevice, array: GpuArray, kernel: Kernel = None):
+    """Sum all elements of ``array`` on the GPU.
+
+    Returns a Python scalar of the array's format.  Runs
+    ceil(log2(n)) kernel passes; intermediate arrays are released.
+    """
+    fmt = array.format
+    if kernel is None:
+        kernel = make_reduce_step_kernel(device, fmt)
+    current = array
+    owned = []  # intermediates to release
+    length = current.length
+    while length > 1:
+        next_length = (length + 1) // 2
+        target = device.empty(next_length, fmt)
+        owned.append(target)
+        kernel(target, {"a": current}, {"u_len": float(length)})
+        current = target
+        length = next_length
+    result = current.to_host()[0]
+    for array_ in owned:
+        if array_ is not current:
+            array_.release()
+    return result

@@ -1,0 +1,47 @@
+"""The sgemm benchmark kernel (paper §V, second benchmark).
+
+Computes ``C = alpha * A @ B + beta * C0`` for square n x n matrices
+stored row-major as 1-D GpuArrays.  One fragment computes one output
+element with an n-iteration dot-product loop.
+
+GLSL ES 1.00 (Appendix A) requires loop bounds to be compile-time
+constant, so ``n`` is baked into the generated source — exactly what a
+real ES 2 GPGPU implementation must do (kernels are recompiled per
+size; the paper's wall times include this compilation).
+"""
+
+from __future__ import annotations
+
+from ..core.api.device import GpgpuDevice
+from ..core.api.kernel import Kernel
+from ..core.numerics.formats import get_format
+
+
+def sgemm_index_body(n: int) -> str:
+    """The generated kernel body for a given (baked) matrix order."""
+    return f"""
+float row = floor(gpgpu_index / u_n);
+float col = mod(gpgpu_index, u_n);
+float acc = 0.0;
+for (int k = 0; k < {n}; k++) {{
+    acc += fetch_a(row * u_n + float(k)) * fetch_b(float(k) * u_n + col);
+}}
+result = u_alpha * acc + u_beta * fetch_c0(gpgpu_index);
+"""
+
+
+def make_sgemm_kernel(device: GpgpuDevice, fmt, n: int) -> Kernel:
+    """Build the sgemm kernel for n x n matrices of the given format.
+
+    Launch with ``kernel(out, {"a": A, "b": B, "c0": C0},
+    {"u_n": n, "u_alpha": alpha, "u_beta": beta})``.
+    """
+    fmt = get_format(fmt)
+    return device.kernel(
+        name=f"sgemm_{fmt.name}_n{n}",
+        inputs=[("a", fmt), ("b", fmt), ("c0", fmt)],
+        output=fmt,
+        body=sgemm_index_body(n),
+        uniforms=[("u_n", "float"), ("u_alpha", "float"), ("u_beta", "float")],
+        mode="gather",
+    )

@@ -1,0 +1,93 @@
+"""Data-movement and stencil kernels: transpose, 1-D convolution.
+
+Both are gather kernels: the output index is decomposed into matrix /
+signal coordinates with the challenge-(3) index arithmetic, and inputs
+are fetched from the computed source positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.api.device import GpgpuDevice
+from ..core.api.errors import GpgpuError
+from ..core.api.kernel import Kernel
+from ..core.numerics.formats import get_format
+
+_TRANSPOSE_BODY = """
+float row = floor(gpgpu_index / u_cols);
+float col = mod(gpgpu_index, u_cols);
+result = fetch_a(col * u_rows + row);
+"""
+
+
+def make_transpose_kernel(device: GpgpuDevice, fmt) -> Kernel:
+    """Matrix transpose: input is rows x cols row-major, output is
+    cols x rows.  Launch with ``{"u_rows": rows, "u_cols": cols}``
+    where rows/cols describe the *output* (so u_cols = input rows).
+    """
+    fmt = get_format(fmt)
+    return device.kernel(
+        name=f"transpose_{fmt.name}",
+        inputs=[("a", fmt)],
+        output=fmt,
+        body=_TRANSPOSE_BODY,
+        uniforms=[("u_rows", "float"), ("u_cols", "float")],
+        mode="gather",
+    )
+
+
+def transpose(device: GpgpuDevice, array, rows: int, cols: int):
+    """Transpose a rows x cols row-major GpuArray; returns cols x rows."""
+    if array.length != rows * cols:
+        raise GpgpuError(
+            f"array of {array.length} elements is not {rows}x{cols}"
+        )
+    kernel = make_transpose_kernel(device, array.format)
+    out = device.empty(rows * cols, array.format)
+    # Output is cols x rows: its row width is `rows`, and the fetch
+    # stride back into the input is the input's row width `cols`.
+    kernel(out, {"a": array}, {"u_rows": float(cols), "u_cols": float(rows)})
+    return out
+
+
+def make_convolve1d_kernel(device: GpgpuDevice, fmt, taps: int) -> Kernel:
+    """1-D convolution with a ``taps``-wide kernel held in a uniform
+    array (clamped boundary).  GLSL ES loop bounds must be constant,
+    so the tap count is baked into the source.
+    """
+    fmt = get_format(fmt)
+    if taps < 1 or taps % 2 == 0:
+        raise GpgpuError("taps must be a positive odd number")
+    half = taps // 2
+    body = f"""
+float acc = 0.0;
+for (int t = 0; t < {taps}; t++) {{
+    float offset = float(t) - {float(half)};
+    float src = clamp(gpgpu_index + offset, 0.0, u_len - 1.0);
+    acc += u_taps[t] * fetch_a(src);
+}}
+result = acc;
+"""
+    return device.kernel(
+        name=f"convolve1d_{fmt.name}_{taps}",
+        inputs=[("a", fmt)],
+        output=fmt,
+        body=body,
+        uniforms=[("u_len", "float")],
+        mode="gather",
+        preamble=f"uniform float u_taps[{taps}];",
+    )
+
+
+def convolve1d(device: GpgpuDevice, array, taps: np.ndarray):
+    """Convolve a 1-D GpuArray with the given taps (clamped edges)."""
+    taps = np.asarray(taps, dtype=np.float64).reshape(-1)
+    kernel = make_convolve1d_kernel(device, array.format, taps.shape[0])
+    out = device.empty(array.length, array.format)
+    ctx = device.ctx
+    ctx.glUseProgram(kernel.program)
+    location = ctx.glGetUniformLocation(kernel.program, "u_taps")
+    ctx.glUniform1fv(location, taps.shape[0], taps)
+    kernel(out, {"a": array}, {"u_len": float(array.length)})
+    return out

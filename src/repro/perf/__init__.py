@@ -1,0 +1,45 @@
+"""Performance modelling for the simulated platform.
+
+The paper reports *wall-clock speedups* measured on a Raspberry Pi
+(VideoCore IV GPU vs ARM11 CPU), including data transfers and shader
+compilation.  We have no Pi, so this package substitutes an
+instruction-counting performance model:
+
+* :mod:`repro.perf.counters` — dynamic op counts collected while the
+  GLES2 simulator executes (shader ALU/SFU/texture ops, fragment and
+  vertex invocations, bus transfers, compilations);
+* :mod:`repro.perf.machines` — machine parameter sets for the
+  VideoCore IV QPU array and the ARM11 CPU;
+* :mod:`repro.perf.cpu_model` / :mod:`repro.perf.gpu_model` — convert
+  counts into execution time on each device;
+* :mod:`repro.perf.wallclock` — assemble end-to-end application wall
+  time (compile + upload + execute + readback), the quantity the
+  paper's Section V compares.
+"""
+
+from .counters import ContextStats, DrawStats, OpCounters
+from .cpu_model import CpuModel, CpuWorkload
+from .gpu_model import GpuModel
+from .roofline import RooflinePoint, analyze_context, analyze_draw, format_roofline, ridge_intensity
+from .machines import ARM11_CPU, VIDEOCORE_IV_GPU, CpuParameters, GpuParameters
+from .wallclock import GpuTimeline, gpu_wall_time
+
+__all__ = [
+    "ContextStats",
+    "DrawStats",
+    "OpCounters",
+    "CpuModel",
+    "CpuWorkload",
+    "GpuModel",
+    "ARM11_CPU",
+    "VIDEOCORE_IV_GPU",
+    "CpuParameters",
+    "GpuParameters",
+    "GpuTimeline",
+    "gpu_wall_time",
+    "RooflinePoint",
+    "analyze_draw",
+    "analyze_context",
+    "ridge_intensity",
+    "format_roofline",
+]

@@ -1,0 +1,104 @@
+"""Dynamic operation counters.
+
+The GLSL interpreter reports every executed operation (per active
+lane) to an :class:`OpCounters` sink; the GLES2 context aggregates
+them per draw call (:class:`DrawStats`) and per context lifetime
+(:class:`ContextStats`).  The performance models in this package turn
+these counts into simulated wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class OpCounters:
+    """Counts of dynamic shader operations by category.
+
+    Categories: ``alu`` (adds/muls/compares/moves), ``sfu``
+    (transcendentals: the QPU services these through lookup +
+    iteration, several cycles each), ``tex`` (texture fetches through
+    the TMU).
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self):
+        self.counts: Dict[str, int] = {"alu": 0, "sfu": 0, "tex": 0}
+
+    def add(self, category: str, count: int) -> None:
+        self.counts[category] = self.counts.get(category, 0) + count
+
+    def merge(self, other: "OpCounters") -> None:
+        for key, value in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + value
+
+    @property
+    def alu(self) -> int:
+        return self.counts.get("alu", 0)
+
+    @property
+    def sfu(self) -> int:
+        return self.counts.get("sfu", 0)
+
+    @property
+    def tex(self) -> int:
+        return self.counts.get("tex", 0)
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OpCounters({self.counts})"
+
+
+@dataclass
+class DrawStats:
+    """Everything one draw call did."""
+
+    vertex_invocations: int = 0
+    fragment_invocations: int = 0
+    discarded_fragments: int = 0
+    vertex_ops: OpCounters = field(default_factory=OpCounters)
+    fragment_ops: OpCounters = field(default_factory=OpCounters)
+    framebuffer_writes: int = 0  # pixels written
+
+
+@dataclass
+class ContextStats:
+    """Lifetime counters for one GL context — the raw material for the
+    wall-time model."""
+
+    draws: List[DrawStats] = field(default_factory=list)
+    shader_compiles: int = 0
+    program_links: int = 0
+    texture_upload_bytes: int = 0
+    buffer_upload_bytes: int = 0
+    readback_bytes: int = 0
+    uniform_updates: int = 0
+
+    def total_fragments(self) -> int:
+        return sum(d.fragment_invocations for d in self.draws)
+
+    def total_vertices(self) -> int:
+        return sum(d.vertex_invocations for d in self.draws)
+
+    def total_ops(self) -> OpCounters:
+        acc = OpCounters()
+        for draw in self.draws:
+            acc.merge(draw.vertex_ops)
+            acc.merge(draw.fragment_ops)
+        return acc
+
+    def reset(self) -> None:
+        self.draws.clear()
+        self.shader_compiles = 0
+        self.program_links = 0
+        self.texture_upload_bytes = 0
+        self.buffer_upload_bytes = 0
+        self.readback_bytes = 0
+        self.uniform_updates = 0

@@ -1,0 +1,91 @@
+"""CPU baseline timing model.
+
+The paper's baselines are plain C loops on the ARM11.  The model takes
+an explicit operation inventory (:class:`CpuWorkload`) — integer ops,
+float ops, loads/stores, bytes streamed — and converts it to time with
+a simple in-order-core model: the core is either compute-bound
+(cycles / clock) or memory-bound (bytes / DRAM bandwidth), whichever
+is larger, which matches streaming kernels on a cacheless-L2 ARM11
+well.
+
+Baselines in :mod:`repro.baselines` build their workload inventories
+analytically (ops per element x elements), so the model is exact with
+respect to the C code the paper would have compiled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .machines import ARM11_CPU, CpuParameters
+
+
+@dataclass
+class CpuWorkload:
+    """Operation inventory of one CPU kernel execution."""
+
+    int_ops: float = 0.0
+    fp_ops: float = 0.0
+    load_store_ops: float = 0.0
+    #: Distinct bytes streamed through DRAM (compulsory traffic).
+    dram_bytes: float = 0.0
+    #: Loop/bookkeeping overhead ops (counted as integer ops).
+    overhead_ops: float = 0.0
+
+    def scaled(self, factor: float) -> "CpuWorkload":
+        return CpuWorkload(
+            int_ops=self.int_ops * factor,
+            fp_ops=self.fp_ops * factor,
+            load_store_ops=self.load_store_ops * factor,
+            dram_bytes=self.dram_bytes * factor,
+            overhead_ops=self.overhead_ops * factor,
+        )
+
+    def merged(self, other: "CpuWorkload") -> "CpuWorkload":
+        return CpuWorkload(
+            int_ops=self.int_ops + other.int_ops,
+            fp_ops=self.fp_ops + other.fp_ops,
+            load_store_ops=self.load_store_ops + other.load_store_ops,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+            overhead_ops=self.overhead_ops + other.overhead_ops,
+        )
+
+
+@dataclass
+class CpuTimeline:
+    """Decomposed CPU execution time (seconds)."""
+
+    compute_seconds: float = 0.0
+    memory_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        # In-order core with blocking misses: compute and memory do
+        # not overlap much, but a streaming loop prefetches enough
+        # that the bound is the max of the two, softened by a small
+        # overlap factor.
+        return max(self.compute_seconds, self.memory_seconds) + 0.3 * min(
+            self.compute_seconds, self.memory_seconds
+        )
+
+
+class CpuModel:
+    """Turns a :class:`CpuWorkload` into seconds."""
+
+    def __init__(self, params: CpuParameters = ARM11_CPU):
+        self.params = params
+
+    def time(self, workload: CpuWorkload) -> CpuTimeline:
+        p = self.params
+        cycles = (
+            (workload.int_ops + workload.overhead_ops) * p.int_op_cycles
+            + workload.fp_ops * p.fp_op_cycles
+            + workload.load_store_ops * p.ls_op_cycles
+        )
+        return CpuTimeline(
+            compute_seconds=cycles / p.clock_hz,
+            memory_seconds=workload.dram_bytes / p.dram_bytes_per_second,
+        )
+
+    def seconds(self, workload: CpuWorkload) -> float:
+        return self.time(workload).total_seconds

@@ -1,0 +1,86 @@
+"""Machine parameter sets for the paper's evaluation platform.
+
+The Raspberry Pi (first generation, the paper's platform) pairs a
+700 MHz ARM11 (ARM1176JZF-S) CPU with the Broadcom VideoCore IV GPU.
+The GPU's 12 QPUs, each a 4-wide SIMD unit issuing one multiply and
+one add per cycle at 250 MHz, give the 24 GFlops the paper quotes
+(12 x 4 x 2 x 250e6 = 24e9).
+
+Parameter values are engineering estimates assembled from public
+VideoCore IV documentation and ARM11 TRM timings; the benchmark
+harness checks the *shape* of results against the paper (who wins, by
+roughly what factor), not absolute times, as required when the real
+board is unavailable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuParameters:
+    """Throughput/latency parameters of a mobile GPU."""
+
+    name: str = "VideoCore IV"
+    clock_hz: float = 250e6
+    qpu_count: int = 12
+    simd_width: int = 4
+    #: Peak ALU throughput in scalar float ops per second.  The QPU
+    #: issues an add and a multiply per lane per cycle:
+    #: 12 QPUs x 4 lanes x 2 ops x 250 MHz = 24 GFlops (paper §I/§V).
+    alu_ops_per_second: float = 24e9
+    #: Special function unit (recip/rsqrt/exp2/log2).  The SFU result
+    #: takes 4 cycles but the QPU pipelines other work over the
+    #: latency, so the sustained rate is ~2 results per QPU per cycle
+    #: pair: 12 x 250 MHz x 2 = 6e9/s effective.
+    sfu_ops_per_second: float = 6e9
+    #: TMU texture fetch throughput (texels/second, all QPUs).
+    tex_fetches_per_second: float = 1.5e9
+    #: Fixed rasteriser/varying cost per fragment (cycles).  The tile
+    #: architecture amortises setup; half a QPU cycle per fragment.
+    fragment_overhead_cycles: float = 0.5
+    #: Vertex processing fixed cost (cycles per vertex).
+    vertex_overhead_cycles: float = 80.0
+    #: Host->GPU copy bandwidth (bytes/s).  On the Pi the GPU shares
+    #: SDRAM with the CPU and uploads go through the DMA engine.
+    upload_bytes_per_second: float = 3.0e9
+    #: GPU->host readback bandwidth (glReadPixels).
+    readback_bytes_per_second: float = 1.5e9
+    #: Driver cost of one shader compilation (seconds).  The paper's
+    #: wall times include kernel compilation.
+    shader_compile_seconds: float = 1.0e-3
+    program_link_seconds: float = 0.5e-3
+    #: Per-draw-call driver/setup overhead (seconds).
+    draw_overhead_seconds: float = 150e-6
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.alu_ops_per_second / 1e9
+
+
+@dataclass(frozen=True)
+class CpuParameters:
+    """Timing parameters of a scalar in-order CPU."""
+
+    name: str = "ARM1176JZF-S (ARM11)"
+    clock_hz: float = 700e6
+    #: Average cycles per simple integer ALU op (issue + hazards).
+    int_op_cycles: float = 1.2
+    #: Average cycles per VFP11 single-precision op (dependent-chain
+    #: stalls on the partially-pipelined VFP11; the paper notes
+    #: integer is faster than floating point on this CPU).
+    fp_op_cycles: float = 3.0
+    #: Average cycles per load/store hitting L1.
+    ls_op_cycles: float = 1.5
+    #: Sustainable DRAM streaming bandwidth (bytes/s) for naive
+    #: compiled loops.  On the BCM2835 the 128 KB L2 is dedicated to
+    #: the GPU, so the ARM11 reads DRAM nearly uncached — measured
+    #: figures for unoptimised C sit around 100 MB/s.
+    dram_bytes_per_second: float = 0.0975e9
+    #: Cache line size for the bandwidth model.
+    cache_line_bytes: int = 32
+
+
+VIDEOCORE_IV_GPU = GpuParameters()
+ARM11_CPU = CpuParameters()

@@ -1,0 +1,100 @@
+"""Roofline analysis of simulated kernels.
+
+Classifies each draw call as compute-bound or fetch-bound under the
+VideoCore IV machine model — the analysis a performance engineer would
+run before optimising one of the paper's kernels.  Arithmetic
+intensity here is ALU ops per TMU fetch (the QPU overlaps the two, so
+the lower roof wins), and the attainable throughput follows the
+classic roofline:
+
+    attainable = min(peak_alu, intensity * peak_tex)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .counters import ContextStats, DrawStats
+from .machines import VIDEOCORE_IV_GPU, GpuParameters
+
+
+@dataclass
+class RooflinePoint:
+    """One draw call placed on the roofline."""
+
+    label: str
+    alu_ops: float
+    sfu_ops: float
+    tex_fetches: float
+    #: ALU ops per texture fetch (inf for fetch-free kernels).
+    intensity: float
+    #: Attainable ALU throughput (ops/s) under the roofline.
+    attainable_ops_per_second: float
+    #: Which roof binds: 'compute' or 'fetch'.
+    bound_by: str
+
+    @property
+    def attainable_gflops(self) -> float:
+        return self.attainable_ops_per_second / 1e9
+
+
+def analyze_draw(
+    draw: DrawStats, label: str = "", params: GpuParameters = VIDEOCORE_IV_GPU
+) -> RooflinePoint:
+    """Place one draw call on the device roofline."""
+    ops = draw.fragment_ops
+    alu = float(ops.alu)
+    tex = float(ops.tex)
+    intensity = alu / tex if tex else float("inf")
+    fetch_roof = intensity * params.tex_fetches_per_second
+    attainable = min(params.alu_ops_per_second, fetch_roof)
+    bound_by = "fetch" if fetch_roof < params.alu_ops_per_second else "compute"
+    return RooflinePoint(
+        label=label,
+        alu_ops=alu,
+        sfu_ops=float(ops.sfu),
+        tex_fetches=tex,
+        intensity=intensity,
+        attainable_ops_per_second=attainable,
+        bound_by=bound_by,
+    )
+
+
+def analyze_context(
+    stats: ContextStats, params: GpuParameters = VIDEOCORE_IV_GPU
+) -> List[RooflinePoint]:
+    """Roofline points for every draw a context executed."""
+    return [
+        analyze_draw(draw, label=f"draw{i}", params=params)
+        for i, draw in enumerate(stats.draws)
+    ]
+
+
+def ridge_intensity(params: GpuParameters = VIDEOCORE_IV_GPU) -> float:
+    """The ridge point: the intensity above which kernels are
+    compute-bound (ALU peak / TMU peak)."""
+    return params.alu_ops_per_second / params.tex_fetches_per_second
+
+
+def format_roofline(points: List[RooflinePoint],
+                    params: GpuParameters = VIDEOCORE_IV_GPU) -> str:
+    """A text table of roofline placements."""
+    header = (
+        f"{'kernel':>10} {'ALU/fetch':>10} {'attainable':>11} {'bound':>8}"
+    )
+    lines = [
+        f"ridge point: {ridge_intensity(params):.1f} ALU ops per fetch",
+        header,
+        "-" * len(header),
+    ]
+    for point in points:
+        intensity = (
+            f"{point.intensity:10.1f}" if point.intensity != float("inf")
+            else f"{'inf':>10}"
+        )
+        lines.append(
+            f"{point.label:>10} {intensity} "
+            f"{point.attainable_gflops:9.1f} G {point.bound_by:>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Result validation utilities (paper §V methodology)."""
+
+from .compare import (
+    PrecisionReport,
+    mantissa_histogram,
+    precision_report,
+    validate_exact,
+)
+
+__all__ = [
+    "PrecisionReport",
+    "precision_report",
+    "mantissa_histogram",
+    "validate_exact",
+]

@@ -1,0 +1,34 @@
+"""Rodinia-style application workloads.
+
+The paper argues (§III-8) that the single-output restriction of ES 2
+fragment shaders is "not a real limitation, since most GPGPU kernels
+provide a single output.  In fact all benchmarks of Rodinia suite fit
+in these two cases."  This package substantiates the claim: four
+representative Rodinia workloads, each implemented with single-output
+kernels over the framework, validated against CPU references.
+
+* :mod:`repro.workloads.nn` — nearest neighbour (Rodinia `nn`);
+* :mod:`repro.workloads.kmeans` — k-means assignment + update
+  (Rodinia `kmeans`);
+* :mod:`repro.workloads.hotspot` — thermal 5-point stencil iteration
+  (Rodinia `hotspot`);
+* :mod:`repro.workloads.pathfinder` — row-by-row dynamic programming
+  (Rodinia `pathfinder`).
+"""
+
+from .hotspot import hotspot_cpu, hotspot_gpu
+from .kmeans import kmeans_assign_cpu, kmeans_assign_gpu, kmeans_iteration
+from .nn import nearest_neighbor_cpu, nearest_neighbor_gpu
+from .pathfinder import pathfinder_cpu, pathfinder_gpu
+
+__all__ = [
+    "nearest_neighbor_gpu",
+    "nearest_neighbor_cpu",
+    "kmeans_assign_gpu",
+    "kmeans_assign_cpu",
+    "kmeans_iteration",
+    "hotspot_gpu",
+    "hotspot_cpu",
+    "pathfinder_gpu",
+    "pathfinder_cpu",
+]

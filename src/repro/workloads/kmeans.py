@@ -1,0 +1,90 @@
+"""k-means clustering (Rodinia `kmeans`).
+
+The GPU-friendly half is the assignment step: each point finds its
+nearest of k centroids — a single-output gather kernel with the
+centroid loop baked in (GLSL ES loop bounds must be constants).  The
+update step (averaging per cluster) is a scatter, which ES 2 cannot do
+in a shader; like Rodinia's OpenMP+CUDA split, it runs on the host.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.api.device import GpgpuDevice
+
+
+def kmeans_assign_cpu(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """CPU reference assignment: index of the nearest centroid per
+    point.  ``points`` is (n, d), ``centroids`` is (k, d)."""
+    deltas = points[:, None, :].astype(np.float64) - centroids[None, :, :]
+    distances = np.sqrt((deltas**2).sum(axis=2))
+    return np.argmin(distances, axis=1).astype(np.int32)
+
+
+def _assign_kernel(device: GpgpuDevice, k: int, d: int):
+    body_lines = [
+        "float best = 3.4e38;",
+        "float best_index = 0.0;",
+        f"for (int c = 0; c < {k}; c++) {{",
+        "    float dist2 = 0.0;",
+        f"    for (int j = 0; j < {d}; j++) {{",
+        f"        float delta = fetch_points(gpgpu_index * {float(d)} + "
+        "float(j)) - fetch_centroids(float(c) * "
+        f"{float(d)} + float(j));",
+        "        dist2 += delta * delta;",
+        "    }",
+        "    if (dist2 < best) {",
+        "        best = dist2;",
+        "        best_index = float(c);",
+        "    }",
+        "}",
+        "result = best_index;",
+    ]
+    return device.kernel(
+        f"kmeans_assign_k{k}_d{d}",
+        inputs=[("points", "float32"), ("centroids", "float32")],
+        output="int32",
+        body="\n".join(body_lines),
+        mode="gather",
+    )
+
+
+def kmeans_assign_gpu(
+    device: GpgpuDevice, points: np.ndarray, centroids: np.ndarray
+) -> np.ndarray:
+    """GPU assignment step.  Returns the (n,) int32 membership array."""
+    points = np.asarray(points, dtype=np.float32)
+    centroids = np.asarray(centroids, dtype=np.float32)
+    n, d = points.shape
+    k = centroids.shape[0]
+    kernel = _assign_kernel(device, k, d)
+    out = device.empty(n, "int32")
+    kernel(
+        out,
+        {
+            "points": device.array(points.reshape(-1)),
+            "centroids": device.array(centroids.reshape(-1)),
+        },
+    )
+    return out.to_host()
+
+
+def kmeans_iteration(
+    device: GpgpuDevice, points: np.ndarray, centroids: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One full k-means iteration: GPU assignment + host update.
+
+    Returns (membership, new_centroids); empty clusters keep their old
+    centroid.
+    """
+    membership = kmeans_assign_gpu(device, points, centroids)
+    k, d = centroids.shape
+    new_centroids = np.array(centroids, dtype=np.float32, copy=True)
+    for c in range(k):
+        members = points[membership == c]
+        if members.shape[0]:
+            new_centroids[c] = members.mean(axis=0)
+    return membership, new_centroids

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GpgpuDevice
+
+
+@pytest.fixture
+def device():
+    """A fresh exact-arithmetic GPGPU device (deterministic tests)."""
+    return GpgpuDevice(float_model="exact")
+
+
+@pytest.fixture
+def device_ieee32():
+    """A device with IEEE single-precision arithmetic."""
+    return GpgpuDevice(float_model="ieee32")

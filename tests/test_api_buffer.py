@@ -1,0 +1,123 @@
+"""GpuArray tests: texture folding, upload/readback, residency."""
+
+import numpy as np
+import pytest
+
+from repro import GpgpuDevice, GpgpuError
+from repro.core.api.buffer import GpuArray, texture_shape
+
+
+class TestTextureShape:
+    def test_exact_square_power_of_two(self):
+        assert texture_shape(1024 * 1024, 2048) == (1024, 1024)
+
+    def test_small_arrays(self):
+        assert texture_shape(1, 2048) == (1, 1)
+        assert texture_shape(2, 2048) == (2, 1)
+        assert texture_shape(5, 2048) == (4, 2)
+
+    def test_non_square(self):
+        width, height = texture_shape(1000, 2048)
+        assert width * height >= 1000
+        assert width & (width - 1) == 0  # power of two
+
+    def test_width_clamped_to_device_limit(self):
+        width, height = texture_shape(3_000_000, 2048)
+        assert width <= 2048
+        assert width * height >= 3_000_000
+
+    def test_too_large_raises(self):
+        with pytest.raises(GpgpuError):
+            texture_shape(2048 * 2048 * 10, 2048)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(GpgpuError):
+            texture_shape(0, 2048)
+
+
+class TestUploadDownload:
+    @pytest.mark.parametrize("fmt,dtype", [
+        ("uint8", np.uint8),
+        ("int8", np.int8),
+        ("uint32", np.uint32),
+        ("int32", np.int32),
+        ("float32", np.float32),
+    ])
+    def test_roundtrip_via_copy_shader(self, device, fmt, dtype):
+        rng = np.random.default_rng(0)
+        if np.dtype(dtype).kind == "f":
+            host = rng.standard_normal(100).astype(dtype)
+        else:
+            info = np.iinfo(dtype)
+            host = rng.integers(info.min, info.max, 100).astype(dtype)
+        array = device.array(host)
+        # Fresh upload is not framebuffer-resident: to_host goes
+        # through the copy shader (challenge 7's slow path).
+        assert np.array_equal(array.to_host(), host)
+
+    def test_length_mismatch_rejected(self, device):
+        array = device.empty(10, "int32")
+        with pytest.raises(GpgpuError):
+            array.upload(np.zeros(5, dtype=np.int32))
+
+    def test_dtype_inferred_from_host(self, device):
+        array = device.array(np.arange(10, dtype=np.int32))
+        assert array.format.name == "int32"
+
+    def test_explicit_format_overrides(self, device):
+        array = device.array(np.arange(10), fmt="float32")
+        assert array.format.name == "float32"
+
+    def test_len_and_repr(self, device):
+        array = device.empty(37, "float32")
+        assert len(array) == 37
+        assert "float32" in repr(array)
+
+    def test_release_blocks_use(self, device):
+        array = device.array(np.arange(4, dtype=np.int32))
+        array.release()
+        with pytest.raises(GpgpuError):
+            array.to_host()
+        array.release()  # idempotent
+
+
+class TestResidencyTracking:
+    def test_kernel_output_is_fb_resident(self, device):
+        kernel = device.kernel(
+            "copy", [("a", "int32")], "int32", "result = a;"
+        )
+        a = device.array(np.arange(16, dtype=np.int32))
+        out = device.empty(16, "int32")
+        kernel(out, {"a": a})
+        assert device.fb_resident is out
+
+    def test_upload_clears_residency(self, device):
+        kernel = device.kernel(
+            "copy2", [("a", "int32")], "int32", "result = a;"
+        )
+        a = device.array(np.arange(16, dtype=np.int32))
+        out = device.empty(16, "int32")
+        kernel(out, {"a": a})
+        out.upload(np.zeros(16, dtype=np.int32))
+        assert device.fb_resident is None
+
+    def test_direct_vs_copy_readback_same_values(self, device):
+        kernel = device.kernel(
+            "copy3", [("a", "int32")], "int32", "result = a;"
+        )
+        host = np.arange(64, dtype=np.int32)
+        a = device.array(host)
+        out = device.empty(64, "int32")
+        kernel(out, {"a": a})
+        direct = out.to_host()
+        device.force_copy_readback = True
+        copied = out.to_host()
+        assert np.array_equal(direct, copied)
+        assert np.array_equal(direct, host)
+
+    def test_copy_readback_adds_a_draw(self, device):
+        host = np.arange(16, dtype=np.int32)
+        a = device.array(host)
+        before = len(device.ctx.stats.draws)
+        a.to_host()  # uploaded array -> copy path
+        assert len(device.ctx.stats.draws) == before + 1

@@ -1,0 +1,139 @@
+"""GpgpuDevice and Pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro import GpgpuDevice, GpgpuError, Pipeline, ShaderBuildError
+
+
+class TestDevice:
+    def test_build_program_vertex_error(self, device):
+        with pytest.raises(ShaderBuildError, match="vertex"):
+            device.build_program("not glsl", "void main() { gl_FragColor = vec4(1.0); }")
+
+    def test_build_program_fragment_error(self, device):
+        from repro.core.codegen import PASSTHROUGH_VERTEX_SHADER
+
+        with pytest.raises(ShaderBuildError, match="fragment"):
+            device.build_program(PASSTHROUGH_VERTEX_SHADER, "broken{")
+
+    def test_build_program_link_error(self, device):
+        from repro.core.codegen import PASSTHROUGH_VERTEX_SHADER
+
+        fs = """
+        precision mediump float;
+        varying vec3 v_coord;
+        void main() { gl_FragColor = vec4(v_coord, 1.0); }
+        """
+        with pytest.raises(ShaderBuildError, match="link"):
+            device.build_program(PASSTHROUGH_VERTEX_SHADER, fs)
+
+    def test_precision_info(self, device):
+        (lo, hi), precision = device.precision_info()
+        assert precision == 23
+
+    def test_wall_time_components(self, device):
+        kernel = device.kernel("c", [("a", "int32")], "int32", "result = a;")
+        a = device.array(np.arange(64, dtype=np.int32))
+        out = device.empty(64, "int32")
+        kernel(out, {"a": a})
+        out.to_host()
+        timeline = device.wall_time()
+        assert timeline.compile_seconds > 0
+        assert timeline.upload_seconds > 0
+        assert timeline.execute_seconds > 0
+        assert timeline.readback_seconds > 0
+        assert timeline.total_seconds == pytest.approx(
+            timeline.compile_seconds + timeline.upload_seconds
+            + timeline.execute_seconds + timeline.readback_seconds
+        )
+
+    def test_reset_stats(self, device):
+        device.kernel("c2", [("a", "int32")], "int32", "result = a;")
+        assert device.ctx.stats.shader_compiles > 0
+        device.reset_stats()
+        assert device.ctx.stats.shader_compiles == 0
+
+    def test_breakdown_string(self, device):
+        text = device.wall_time().breakdown()
+        assert "compile" in text and "total" in text
+
+    def test_scratch_reused_across_readbacks(self, device):
+        a = device.array(np.arange(16, dtype=np.int32))
+        b = device.array(np.arange(16, dtype=np.int32))
+        a.to_host()
+        b.to_host()
+        assert len(device._scratch) == 1
+
+
+class TestPipeline:
+    def build(self, device):
+        add = device.kernel(
+            "p_add", [("a", "int32"), ("b", "int32")], "int32", "result = a + b;"
+        )
+        double = device.kernel(
+            "p_double", [("a", "int32")], "int32", "result = a * 2.0;"
+        )
+        return add, double
+
+    def test_chained_kernels(self, device):
+        add, double = self.build(device)
+        a = device.array(np.arange(8, dtype=np.int32))
+        b = device.array(np.ones(8, dtype=np.int32))
+        summed = device.empty(8, "int32")
+        doubled = device.empty(8, "int32")
+        pipeline = Pipeline(device)
+        pipeline.add(add, summed, {"a": a, "b": b})
+        pipeline.add(double, doubled, {"a": summed})
+        result = pipeline.run()
+        assert result is doubled
+        assert list(doubled.to_host()) == [(i + 1) * 2 for i in range(8)]
+
+    def test_final_output_is_fb_resident(self, device):
+        add, double = self.build(device)
+        a = device.array(np.arange(8, dtype=np.int32))
+        b = device.array(np.ones(8, dtype=np.int32))
+        summed = device.empty(8, "int32")
+        doubled = device.empty(8, "int32")
+        Pipeline(device).add(add, summed, {"a": a, "b": b}).add(
+            double, doubled, {"a": summed}
+        ).run()
+        assert device.fb_resident is doubled
+
+    def test_reorder_for_readback_moves_producer_last(self, device):
+        add, double = self.build(device)
+        a = device.array(np.arange(8, dtype=np.int32))
+        b = device.array(np.ones(8, dtype=np.int32))
+        wanted = device.empty(8, "int32")
+        other = device.empty(8, "int32")
+        pipeline = Pipeline(device)
+        pipeline.add(add, wanted, {"a": a, "b": b})
+        pipeline.add(double, other, {"a": a})  # independent of `wanted`
+        pipeline.reorder_for_readback(wanted)
+        assert pipeline.steps[-1].out is wanted
+        pipeline.run()
+        assert device.fb_resident is wanted
+
+    def test_reorder_respects_dependences(self, device):
+        add, double = self.build(device)
+        a = device.array(np.arange(8, dtype=np.int32))
+        b = device.array(np.ones(8, dtype=np.int32))
+        first = device.empty(8, "int32")
+        second = device.empty(8, "int32")
+        pipeline = Pipeline(device)
+        pipeline.add(add, first, {"a": a, "b": b})
+        pipeline.add(double, second, {"a": first})  # depends on first
+        pipeline.reorder_for_readback(first)
+        # Cannot move: order unchanged.
+        assert pipeline.steps[-1].out is second
+
+    def test_cross_device_kernel_rejected(self, device):
+        other_device = GpgpuDevice(float_model="exact")
+        kernel = other_device.kernel("k", [("a", "int32")], "int32", "result = a;")
+        out = other_device.empty(4, "int32")
+        pipeline = Pipeline(device)
+        with pytest.raises(GpgpuError, match="different device"):
+            pipeline.add(kernel, out, {})
+
+    def test_empty_pipeline_returns_none(self, device):
+        assert Pipeline(device).run() is None

@@ -1,0 +1,216 @@
+"""Kernel API tests: generation, validation, launch semantics."""
+
+import numpy as np
+import pytest
+
+from repro import GpgpuDevice, GpgpuError, ShaderBuildError
+
+
+class TestKernelGeneration:
+    def test_generated_sources_compile(self, device):
+        kernel = device.kernel(
+            "axpb", [("x", "float32")], "float32",
+            "result = u_a * x + u_b;",
+            uniforms=[("u_a", "float"), ("u_b", "float")],
+        )
+        assert "gpgpu_unpack_float32" in kernel.source.fragment
+        assert "gpgpu_pack_float32" in kernel.source.fragment
+        assert "uniform float u_a;" in kernel.source.fragment
+
+    def test_bad_body_raises_with_info_log(self, device):
+        with pytest.raises(ShaderBuildError) as excinfo:
+            device.kernel("bad", [("a", "int32")], "int32", "result = a +;")
+        assert "generated source" in str(excinfo.value)
+
+    def test_unknown_uniform_type(self, device):
+        with pytest.raises(ValueError):
+            device.kernel(
+                "bad2", [("a", "int32")], "int32", "result = a;",
+                uniforms=[("u_x", "double")],
+            )
+
+    def test_unknown_mode(self, device):
+        with pytest.raises(ValueError):
+            device.kernel("bad3", [("a", "int32")], "int32", "result = a;",
+                          mode="scatter")
+
+    def test_preamble_helper_functions(self, device):
+        kernel = device.kernel(
+            "helper", [("a", "float32")], "float32",
+            "result = cube(a);",
+            preamble="float cube(float x) { return x * x * x; }",
+        )
+        a = device.array(np.array([2.0, 3.0], dtype=np.float32))
+        out = device.empty(2, "float32")
+        kernel(out, {"a": a})
+        assert list(out.to_host()) == [8.0, 27.0]
+
+
+class TestLaunchValidation:
+    def make_add(self, device):
+        return device.kernel(
+            "add", [("a", "int32"), ("b", "int32")], "int32", "result = a + b;"
+        )
+
+    def test_missing_input(self, device):
+        kernel = self.make_add(device)
+        out = device.empty(4, "int32")
+        a = device.array(np.zeros(4, dtype=np.int32))
+        with pytest.raises(GpgpuError, match="expects inputs"):
+            kernel(out, {"a": a})
+
+    def test_extra_input(self, device):
+        kernel = self.make_add(device)
+        out = device.empty(4, "int32")
+        a = device.array(np.zeros(4, dtype=np.int32))
+        with pytest.raises(GpgpuError, match="expects inputs"):
+            kernel(out, {"a": a, "b": a, "c": a})
+
+    def test_wrong_input_format(self, device):
+        kernel = self.make_add(device)
+        out = device.empty(4, "int32")
+        a = device.array(np.zeros(4, dtype=np.int32))
+        f = device.array(np.zeros(4, dtype=np.float32))
+        with pytest.raises(GpgpuError, match="must be int32"):
+            kernel(out, {"a": a, "b": f})
+
+    def test_wrong_output_format(self, device):
+        kernel = self.make_add(device)
+        out = device.empty(4, "float32")
+        a = device.array(np.zeros(4, dtype=np.int32))
+        with pytest.raises(GpgpuError, match="writes int32"):
+            kernel(out, {"a": a, "b": a})
+
+    def test_in_place_rejected(self, device):
+        kernel = self.make_add(device)
+        a = device.array(np.zeros(4, dtype=np.int32))
+        with pytest.raises(GpgpuError, match="input and output"):
+            kernel(a, {"a": a, "b": a})
+
+    def test_unknown_uniform_rejected(self, device):
+        kernel = self.make_add(device)
+        out = device.empty(4, "int32")
+        a = device.array(np.zeros(4, dtype=np.int32))
+        with pytest.raises(GpgpuError, match="unknown uniforms"):
+            kernel(out, {"a": a, "b": a}, {"u_oops": 1.0})
+
+
+class TestLaunchSemantics:
+    def test_map_kernel_different_texture_shapes(self, device):
+        """Inputs and output may fold differently; indices line up."""
+        kernel = device.kernel(
+            "copy", [("a", "int32")], "int32", "result = a;"
+        )
+        host = np.arange(100, dtype=np.int32)  # folds to 16x7
+        a = device.array(host)
+        out = device.empty(100, "int32")
+        kernel(out, {"a": a})
+        assert np.array_equal(out.to_host(), host)
+
+    def test_uniform_values_reach_kernel(self, device):
+        kernel = device.kernel(
+            "scale", [("x", "float32")], "float32",
+            "result = u_k * x;",
+            uniforms=[("u_k", "float")],
+        )
+        x = device.array(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        out = device.empty(3, "float32")
+        kernel(out, {"x": x}, {"u_k": 2.5})
+        assert list(out.to_host()) == [2.5, 5.0, 7.5]
+
+    def test_vec_uniform(self, device):
+        kernel = device.kernel(
+            "dotk", [("x", "float32")], "float32",
+            "result = dot(u_v, vec2(x, 1.0));",
+            uniforms=[("u_v", "vec2")],
+        )
+        x = device.array(np.array([2.0], dtype=np.float32))
+        out = device.empty(1, "float32")
+        kernel(out, {"x": x}, {"u_v": (3.0, 10.0)})
+        assert out.to_host()[0] == 16.0
+
+    def test_int_uniform(self, device):
+        kernel = device.kernel(
+            "ik", [("x", "int32")], "int32",
+            "result = x + float(u_n);",
+            uniforms=[("u_n", "int")],
+        )
+        x = device.array(np.array([5], dtype=np.int32))
+        out = device.empty(1, "int32")
+        kernel(out, {"x": x}, {"u_n": 37})
+        assert out.to_host()[0] == 42
+
+    def test_gather_mode_uses_fetch(self, device):
+        kernel = device.kernel(
+            "reverse", [("a", "int32")], "int32",
+            "result = fetch_a(u_len - 1.0 - gpgpu_index);",
+            uniforms=[("u_len", "float")],
+            mode="gather",
+        )
+        host = np.arange(16, dtype=np.int32)
+        out = device.empty(16, "int32")
+        kernel(out, {"a": device.array(host)}, {"u_len": 16.0})
+        assert np.array_equal(out.to_host(), host[::-1])
+
+    def test_kernel_reuse_many_launches(self, device):
+        kernel = device.kernel(
+            "inc", [("a", "int32")], "int32", "result = a + 1.0;"
+        )
+        host = np.zeros(8, dtype=np.int32)
+        ping = device.array(host)
+        pong = device.empty(8, "int32")
+        for __ in range(3):
+            kernel(pong, {"a": ping})
+            ping, pong = pong, ping
+        assert np.all(ping.to_host() == 3)
+
+
+class TestMultiOutputKernel:
+    def test_split_produces_both_outputs(self, device):
+        kernel = device.multi_output_kernel(
+            "divmod",
+            inputs=[("a", "int32")],
+            outputs=["int32", "int32"],
+            body="result0 = floor(a / 10.0);\nresult1 = mod(a, 10.0);",
+        )
+        host = np.array([42, 57, 138], dtype=np.int32)
+        a = device.array(host)
+        quot = device.empty(3, "int32")
+        rem = device.empty(3, "int32")
+        kernel([quot, rem], {"a": a})
+        assert list(quot.to_host()) == [4, 5, 13]
+        assert list(rem.to_host()) == [2, 7, 8]
+
+    def test_wrong_output_count(self, device):
+        kernel = device.multi_output_kernel(
+            "two", [("a", "int32")], ["int32", "int32"],
+            "result0 = a;\nresult1 = a;",
+        )
+        with pytest.raises(GpgpuError, match="2 outputs"):
+            kernel([device.empty(2, "int32")],
+                   {"a": device.array(np.zeros(2, dtype=np.int32))})
+
+    def test_mixed_output_formats(self, device):
+        kernel = device.multi_output_kernel(
+            "mixed",
+            inputs=[("x", "float32")],
+            outputs=["float32", "int32"],
+            body="result0 = x * 0.5;\nresult1 = floor(x);",
+        )
+        x = device.array(np.array([7.0], dtype=np.float32))
+        half = device.empty(1, "float32")
+        floor = device.empty(1, "int32")
+        kernel([half, floor], {"x": x})
+        assert half.to_host()[0] == 3.5
+        assert floor.to_host()[0] == 7
+
+    def test_each_pass_is_one_draw(self, device):
+        kernel = device.multi_output_kernel(
+            "three", [("a", "int32")], ["int32"] * 3,
+            "result0 = a;\nresult1 = a + 1.0;\nresult2 = a + 2.0;",
+        )
+        a = device.array(np.zeros(4, dtype=np.int32))
+        outs = [device.empty(4, "int32") for __ in range(3)]
+        before = len(device.ctx.stats.draws)
+        kernel(outs, {"a": a})
+        assert len(device.ctx.stats.draws) == before + 3

@@ -1,0 +1,116 @@
+"""Unit tests for the experiments package (the benches assert shapes;
+these cover the machinery itself at small sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig2 import run_fig2_layout
+from repro.experiments.peak import run_peak_check
+from repro.experiments.prec import run_precision_experiment
+from repro.experiments.speedup import (
+    PAPER_SPEEDUPS,
+    SpeedupRow,
+    format_speedup_table,
+    measure_sgemm,
+    measure_sum,
+    run_speedup_table,
+)
+from repro.experiments.sweep import SweepPoint, SweepResult, run_size_sweep
+from repro.perf.wallclock import GpuTimeline
+
+
+class TestMeasurement:
+    def test_measure_sum_validates_and_counts(self):
+        stats = measure_sum("int32", 4096)
+        assert stats.total_fragments() == 4096
+        assert stats.shader_compiles == 2
+        assert stats.total_ops().tex == 2 * 4096
+
+    def test_measure_sum_rejects_bad_results(self, monkeypatch):
+        import repro.experiments.speedup as speedup_module
+
+        monkeypatch.setattr(
+            speedup_module, "cpu_sum", lambda a, b: a + b + 1
+        )
+        with pytest.raises(AssertionError):
+            measure_sum("int32", 4096)
+
+    def test_measure_sgemm_counts_scale_with_n(self):
+        small = measure_sgemm("int32", 8)
+        large = measure_sgemm("int32", 16)
+        # Work grows ~n^3; fragments grow n^2.
+        assert large.total_ops().alu > 6 * small.total_ops().alu
+        assert large.total_fragments() == 4 * small.total_fragments()
+
+
+class TestSpeedupTable:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_speedup_table()
+
+    def test_four_rows(self, rows):
+        assert len(rows) == 4
+        assert {(r.benchmark, r.fmt) for r in rows} == set(PAPER_SPEEDUPS)
+
+    def test_formatting_contains_all_rows(self, rows):
+        text = format_speedup_table(rows)
+        for row in rows:
+            assert row.benchmark in text
+
+    def test_row_properties(self, rows):
+        row = rows[0]
+        assert row.gpu_seconds == row.gpu.total_seconds
+        assert row.speedup == pytest.approx(
+            row.cpu_seconds / row.gpu_seconds
+        )
+
+
+class TestSweep:
+    def test_crossover_none_when_cpu_always_wins(self):
+        points = [
+            SweepPoint(size=2**i, cpu_seconds=1.0, gpu_seconds=2.0)
+            for i in range(4)
+        ]
+        assert SweepResult("int32", points).crossover_size() is None
+
+    def test_crossover_first_winning_size(self):
+        points = [
+            SweepPoint(size=10, cpu_seconds=1.0, gpu_seconds=2.0),
+            SweepPoint(size=20, cpu_seconds=3.0, gpu_seconds=2.0),
+        ]
+        assert SweepResult("int32", points).crossover_size() == 20
+
+    def test_small_sweep_runs(self):
+        result = run_size_sweep("int32", sizes=(1024, 65536))
+        assert len(result.points) == 2
+        assert result.points[0].speedup < result.points[1].speedup
+
+
+class TestOthers:
+    def test_fig2_rows_internally_consistent(self):
+        for row in run_fig2_layout([1.0, -2.5, 0.125]):
+            rebuilt = (
+                (row.sign << 31)
+                | (row.biased_exponent << 23)
+                | row.mantissa
+            )
+            assert rebuilt == row.ieee_bits
+
+    def test_peak_check(self):
+        check = run_peak_check()
+        assert check.consistent
+
+    def test_precision_rows_cover_models_and_benchmarks(self):
+        rows = run_precision_experiment(sum_size=1024, sgemm_n=16)
+        keys = {(r.benchmark, r.model) for r in rows}
+        assert keys == {
+            ("sum", "videocore"), ("sgemm", "videocore"),
+            ("sum", "exact"), ("sgemm", "exact"),
+        }
+        for row in rows:
+            if row.model == "exact":
+                # Median at full fp32 width; the worst element may sit
+                # one ulp off (float64 compute + fp32 pack double-rounds
+                # differently than native fp32 arithmetic).
+                assert row.report.median_bits == 23.0
+                assert row.report.min_bits >= 22.0

@@ -1,0 +1,147 @@
+"""Failure-injection tests: the framework must fail loudly and
+precisely, never silently corrupt results."""
+
+import numpy as np
+import pytest
+
+from repro import GpgpuDevice, GpgpuError, ShaderBuildError
+from repro.glsl.errors import GlslLimitError
+
+
+class TestCrossDeviceIsolation:
+    def test_input_from_other_device_rejected(self):
+        device_a = GpgpuDevice(float_model="exact")
+        device_b = GpgpuDevice(float_model="exact")
+        kernel = device_a.kernel(
+            "xdev", [("a", "int32")], "int32", "result = a;"
+        )
+        foreign = device_b.array(np.zeros(4, dtype=np.int32))
+        out = device_a.empty(4, "int32")
+        with pytest.raises(GpgpuError, match="different GpgpuDevice"):
+            kernel(out, {"a": foreign})
+
+    def test_output_on_other_device_rejected(self):
+        device_a = GpgpuDevice(float_model="exact")
+        device_b = GpgpuDevice(float_model="exact")
+        kernel = device_a.kernel(
+            "xdev2", [("a", "int32")], "int32", "result = a;"
+        )
+        local = device_a.array(np.zeros(4, dtype=np.int32))
+        foreign_out = device_b.empty(4, "int32")
+        with pytest.raises(GpgpuError, match="different GpgpuDevice"):
+            kernel(foreign_out, {"a": local})
+
+
+class TestRuntimeLimits:
+    def test_runaway_loop_caught(self):
+        device = GpgpuDevice(float_model="exact", max_loop_iterations=64)
+        kernel = device.kernel(
+            "runaway", [("a", "float32")], "float32",
+            "float x = a;\nwhile (x < 1.0e20) { x += 0.0; }\nresult = x;",
+        )
+        out = device.empty(4, "float32")
+        with pytest.raises(GlslLimitError):
+            kernel(out, {"a": device.array(np.zeros(4, dtype=np.float32))})
+
+    def test_oversized_array_rejected_up_front(self):
+        device = GpgpuDevice(float_model="exact")
+        limit = device.ctx.limits.max_texture_size
+        with pytest.raises(GpgpuError, match="texture limit"):
+            device.empty(limit * limit * 2, "int32")
+
+    def test_deep_call_nesting_rejected(self):
+        device = GpgpuDevice(float_model="exact")
+        # 70 nested single-call functions exceed the frame cap.
+        decls = ["float f0(float x) { return x; }"]
+        for i in range(1, 70):
+            decls.append(
+                f"float f{i}(float x) {{ return f{i - 1}(x); }}"
+            )
+        kernel = device.kernel(
+            "deep", [("a", "float32")], "float32",
+            "result = f69(a);",
+            preamble="\n".join(decls),
+        )
+        out = device.empty(1, "float32")
+        with pytest.raises(GlslLimitError):
+            kernel(out, {"a": device.array(np.zeros(1, dtype=np.float32))})
+
+
+class TestCompileTimeFailures:
+    def test_reserved_operator_in_body_reported(self):
+        device = GpgpuDevice(float_model="exact")
+        with pytest.raises(ShaderBuildError, match="reserved"):
+            device.kernel(
+                "modulo", [("a", "int32")], "int32",
+                "int x = 5 % 3;\nresult = a;",
+            )
+
+    def test_type_error_reports_generated_source(self):
+        device = GpgpuDevice(float_model="exact")
+        with pytest.raises(ShaderBuildError) as excinfo:
+            device.kernel(
+                "mix_types", [("a", "float32")], "float32",
+                "result = a + 1;",
+            )
+        message = str(excinfo.value)
+        assert "generated source" in message
+        assert "result = a + 1;" in message
+
+    def test_runaway_macro_caught(self):
+        device = GpgpuDevice(float_model="exact")
+        with pytest.raises(ShaderBuildError):
+            device.build_program(
+                "#define A A A\nvoid main() { gl_Position = vec4(A); }",
+                "void main() { gl_FragColor = vec4(1.0); }",
+            )
+
+
+class TestDefaultsAreDefined:
+    def test_unset_uniform_reads_zero(self, device):
+        kernel = device.kernel(
+            "unset", [("a", "float32")], "float32",
+            "result = a + u_shift;",
+            uniforms=[("u_shift", "float")],
+        )
+        out = device.empty(3, "float32")
+        kernel(out, {"a": device.array(np.ones(3, dtype=np.float32))})
+        assert list(out.to_host()) == [1.0, 1.0, 1.0]
+
+    def test_fresh_array_reads_zero(self, device):
+        fresh = device.empty(5, "int32")
+        kernel = device.kernel(
+            "readfresh", [("a", "int32")], "int32", "result = a;"
+        )
+        out = device.empty(5, "int32")
+        kernel(out, {"a": fresh})
+        assert np.all(out.to_host() == 0)
+
+    def test_out_of_range_fetch_clamps(self, device):
+        """fetch beyond the array end hits CLAMP_TO_EDGE texels —
+        defined (edge value), never garbage."""
+        kernel = device.kernel(
+            "over", [("a", "int32")], "int32",
+            "result = fetch_a(gpgpu_index + 1000.0);",
+            mode="gather",
+        )
+        values = np.arange(8, dtype=np.int32)
+        out = device.empty(8, "int32")
+        kernel(out, {"a": device.array(values)})
+        assert np.all(np.isin(out.to_host(), values))
+
+
+class TestNonStrictErrorMode:
+    def test_errors_accumulate_without_raising(self):
+        device = GpgpuDevice(float_model="exact", strict_errors=False)
+        ctx = device.ctx
+        from repro.gles2 import enums as gl
+
+        ctx.glGetString(0x1234)  # would raise in strict mode
+        assert ctx.glGetError() == gl.GL_INVALID_ENUM
+        # The device still works afterwards.
+        kernel = device.kernel(
+            "after_error", [("a", "int32")], "int32", "result = a;"
+        )
+        out = device.empty(2, "int32")
+        kernel(out, {"a": device.array(np.array([1, 2], dtype=np.int32))})
+        assert list(out.to_host()) == [1, 2]

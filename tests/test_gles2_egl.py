@@ -1,0 +1,143 @@
+"""EGL shim tests: the Pi boot sequence."""
+
+import numpy as np
+import pytest
+
+from repro.gles2 import enums as gl
+from repro.gles2.egl import (
+    EGL_BAD_CONFIG,
+    EGL_BAD_PARAMETER,
+    EGL_CONTEXT_CLIENT_VERSION,
+    EGL_DEFAULT_DISPLAY,
+    EGL_HEIGHT,
+    EGL_NO_CONTEXT,
+    EGL_NO_SURFACE,
+    EGL_NONE,
+    EGL_NOT_INITIALIZED,
+    EGL_OPENGL_ES2_BIT,
+    EGL_PBUFFER_BIT,
+    EGL_RED_SIZE,
+    EGL_RENDERABLE_TYPE,
+    EGL_SUCCESS,
+    EGL_SURFACE_TYPE,
+    EGL_TRUE,
+    EGL_WIDTH,
+    Egl,
+    create_es2_context,
+)
+
+
+class TestBootSequence:
+    def test_full_dance(self):
+        egl = Egl()
+        display = egl.eglGetDisplay(EGL_DEFAULT_DISPLAY)
+        ok, major, minor = egl.eglInitialize(display)
+        assert ok == EGL_TRUE and (major, minor) == (1, 4)
+        configs = egl.eglChooseConfig(display, [
+            EGL_RED_SIZE, 8,
+            EGL_SURFACE_TYPE, EGL_PBUFFER_BIT,
+            EGL_RENDERABLE_TYPE, EGL_OPENGL_ES2_BIT,
+            EGL_NONE,
+        ])
+        assert configs
+        context = egl.eglCreateContext(
+            display, configs[0],
+            attrib_list=[EGL_CONTEXT_CLIENT_VERSION, 2, EGL_NONE],
+        )
+        assert context != EGL_NO_CONTEXT
+        surface = egl.eglCreatePbufferSurface(
+            display, configs[0], [EGL_WIDTH, 8, EGL_HEIGHT, 8, EGL_NONE]
+        )
+        assert surface != EGL_NO_SURFACE
+        assert egl.eglMakeCurrent(display, surface, surface, context) == EGL_TRUE
+        ctx = egl.current_gl()
+        assert "OpenGL ES 2.0" in ctx.glGetString(gl.GL_VERSION)
+        assert egl.eglSwapBuffers(display, surface) == EGL_TRUE
+
+    def test_convenience_wrapper(self):
+        ctx = create_es2_context(4, 4)
+        ctx.glClearColor(1.0, 0.0, 0.0, 1.0)
+        ctx.glClear(gl.GL_COLOR_BUFFER_BIT)
+        out = ctx.glReadPixels(0, 0, 4, 4, gl.GL_RGBA, gl.GL_UNSIGNED_BYTE)
+        assert np.all(out[:, :, 0] == 255)
+
+    def test_wrapper_forwards_float_model(self):
+        ctx = create_es2_context(2, 2, float_model="videocore")
+        assert ctx.float_model.name == "videocore"
+
+
+class TestErrors:
+    def test_choose_config_before_initialize(self):
+        egl = Egl()
+        display = egl.eglGetDisplay()
+        assert egl.eglChooseConfig(display, [EGL_NONE]) == []
+        assert egl.eglGetError() == EGL_NOT_INITIALIZED
+
+    def test_error_fetch_clears(self):
+        egl = Egl()
+        display = egl.eglGetDisplay()
+        egl.eglChooseConfig(display, [EGL_NONE])
+        assert egl.eglGetError() == EGL_NOT_INITIALIZED
+        assert egl.eglGetError() == EGL_SUCCESS
+
+    def test_es1_context_rejected(self):
+        egl = Egl()
+        display = egl.eglGetDisplay()
+        egl.eglInitialize(display)
+        config = display.configs[0]
+        context = egl.eglCreateContext(
+            display, config, attrib_list=[EGL_CONTEXT_CLIENT_VERSION, 1, EGL_NONE]
+        )
+        assert context == EGL_NO_CONTEXT
+        assert egl.eglGetError() == EGL_BAD_PARAMETER
+
+    def test_foreign_config_rejected(self):
+        from repro.gles2.egl import EglConfig
+
+        egl = Egl()
+        display = egl.eglGetDisplay()
+        egl.eglInitialize(display)
+        rogue = EglConfig(config_id=99)
+        assert egl.eglCreateContext(display, rogue) == EGL_NO_CONTEXT
+        assert egl.eglGetError() == EGL_BAD_CONFIG
+
+    def test_bad_pbuffer_size(self):
+        egl = Egl()
+        display = egl.eglGetDisplay()
+        egl.eglInitialize(display)
+        surface = egl.eglCreatePbufferSurface(
+            display, display.configs[0], [EGL_WIDTH, 0, EGL_NONE]
+        )
+        assert surface == EGL_NO_SURFACE
+
+    def test_current_gl_without_context(self):
+        with pytest.raises(RuntimeError):
+            Egl().current_gl()
+
+    def test_terminate_drops_current(self):
+        egl = Egl()
+        display = egl.eglGetDisplay()
+        egl.eglInitialize(display)
+        egl.eglTerminate(display)
+        assert egl.eglGetCurrentContext() == EGL_NO_CONTEXT
+
+
+class TestConfigMatching:
+    def test_alpha_requirement_filters(self):
+        egl = Egl()
+        display = egl.eglGetDisplay()
+        egl.eglInitialize(display)
+        from repro.gles2.egl import EGL_ALPHA_SIZE
+
+        with_alpha = egl.eglChooseConfig(display, [EGL_ALPHA_SIZE, 8, EGL_NONE])
+        any_alpha = egl.eglChooseConfig(display, [EGL_ALPHA_SIZE, 0, EGL_NONE])
+        assert len(with_alpha) < len(any_alpha)
+
+    def test_attrib_list_stops_at_none(self):
+        egl = Egl()
+        display = egl.eglGetDisplay()
+        egl.eglInitialize(display)
+        configs = egl.eglChooseConfig(
+            display, [EGL_NONE, EGL_RED_SIZE, 999]
+        )
+        assert configs  # attributes after EGL_NONE ignored

@@ -1,0 +1,140 @@
+"""Tests that the simulator enforces every §II-B restriction the paper
+lists — these restrictions are the problem statement."""
+
+import numpy as np
+import pytest
+
+from repro.gles2 import GLES2Context, GLError, SimulatorLimitation, enums as gl
+
+
+@pytest.fixture
+def ctx():
+    return GLES2Context(width=8, height=8)
+
+
+class TestLimitation5NoFloatTextures:
+    """§II-B(5): no float texture formats."""
+
+    def test_float_upload_rejected(self, ctx):
+        (tex,) = ctx.glGenTextures(1)
+        ctx.glBindTexture(gl.GL_TEXTURE_2D, tex)
+        with pytest.raises(GLError):
+            ctx.glTexImage2D(
+                gl.GL_TEXTURE_2D, 0, gl.GL_RGBA, 4, 4, 0,
+                gl.GL_RGBA, gl.GL_FLOAT, np.zeros((4, 4, 4), dtype=np.float32),
+            )
+
+    def test_unsigned_byte_accepted(self, ctx):
+        (tex,) = ctx.glGenTextures(1)
+        ctx.glBindTexture(gl.GL_TEXTURE_2D, tex)
+        ctx.glTexImage2D(
+            gl.GL_TEXTURE_2D, 0, gl.GL_RGBA, 4, 4, 0,
+            gl.GL_RGBA, gl.GL_UNSIGNED_BYTE, np.zeros((4, 4, 4), dtype=np.uint8),
+        )
+        assert ctx.glGetError() == gl.GL_NO_ERROR
+
+    def test_no_float_extensions_advertised(self, ctx):
+        extensions = ctx.glGetString(gl.GL_EXTENSIONS)
+        assert "OES_texture_float" not in extensions
+
+
+class TestLimitation2TrianglesOnly:
+    """§II-B(2): no quads; triangles must be used."""
+
+    def test_no_quads_enum_exists(self):
+        assert not hasattr(gl, "GL_QUADS")
+
+    def test_lines_not_rasterised(self, ctx):
+        from repro.gles2.raster import assemble_triangles
+
+        with pytest.raises(SimulatorLimitation):
+            assemble_triangles(gl.GL_LINES, np.arange(4))
+
+    def test_triangle_modes_assemble(self):
+        from repro.gles2.raster import assemble_triangles
+
+        idx = np.arange(6)
+        assert assemble_triangles(gl.GL_TRIANGLES, idx).shape == (2, 3)
+        assert assemble_triangles(gl.GL_TRIANGLE_STRIP, idx).shape == (4, 3)
+        assert assemble_triangles(gl.GL_TRIANGLE_FAN, idx).shape == (4, 3)
+
+
+class TestLimitation8SingleOutput:
+    """§II-B(8): one draw buffer / color attachment."""
+
+    def test_second_color_attachment_rejected(self, ctx):
+        (fbo,) = ctx.glGenFramebuffers(1)
+        (tex,) = ctx.glGenTextures(1)
+        ctx.glBindFramebuffer(gl.GL_FRAMEBUFFER, fbo)
+        with pytest.raises(GLError):
+            ctx.glFramebufferTexture2D(
+                gl.GL_FRAMEBUFFER, gl.GL_COLOR_ATTACHMENT0 + 1,
+                gl.GL_TEXTURE_2D, tex, 0,
+            )
+
+
+class TestLimitation7NoTextureReadback:
+    """§II-B(7): no glGetTexImage; readback only via glReadPixels."""
+
+    def test_no_get_tex_image(self, ctx):
+        assert not hasattr(ctx, "glGetTexImage")
+
+    def test_readpixels_requires_complete_framebuffer(self, ctx):
+        (fbo,) = ctx.glGenFramebuffers(1)
+        ctx.glBindFramebuffer(gl.GL_FRAMEBUFFER, fbo)
+        with pytest.raises(GLError):
+            ctx.glReadPixels(0, 0, 4, 4, gl.GL_RGBA, gl.GL_UNSIGNED_BYTE)
+
+    def test_readpixels_unsigned_byte_only(self, ctx):
+        with pytest.raises(GLError):
+            ctx.glReadPixels(0, 0, 4, 4, gl.GL_RGBA, gl.GL_FLOAT)
+
+
+class TestDeviceStrings:
+    def test_version_strings(self, ctx):
+        assert "OpenGL ES 2.0" in ctx.glGetString(gl.GL_VERSION)
+        assert "GLSL ES 1.00" in ctx.glGetString(gl.GL_SHADING_LANGUAGE_VERSION)
+
+    def test_limits_queryable(self, ctx):
+        assert ctx.glGetIntegerv(gl.GL_MAX_TEXTURE_SIZE) == 2048
+        assert ctx.glGetIntegerv(gl.GL_MAX_VERTEX_ATTRIBS) == 8
+
+    def test_bad_string_enum(self, ctx):
+        with pytest.raises(GLError):
+            ctx.glGetString(0x1234)
+
+
+class TestPrecisionQuery:
+    """§IV-E: glGetShaderPrecisionFormat reveals the float format."""
+
+    def test_highp_float_matches_ieee754(self, ctx):
+        (lo, hi), precision = ctx.glGetShaderPrecisionFormat(
+            gl.GL_FRAGMENT_SHADER, gl.GL_HIGH_FLOAT
+        )
+        assert (lo, hi) == (127, 127)
+        assert precision == 23
+
+    def test_int_reports_24bit_range(self, ctx):
+        (lo, hi), precision = ctx.glGetShaderPrecisionFormat(
+            gl.GL_FRAGMENT_SHADER, gl.GL_HIGH_INT
+        )
+        assert (lo, hi) == (24, 24)
+        assert precision == 0
+
+    def test_invalid_enum(self, ctx):
+        with pytest.raises(GLError):
+            ctx.glGetShaderPrecisionFormat(gl.GL_FRAGMENT_SHADER, 0x9999)
+
+
+class TestErrorStateMachine:
+    def test_sticky_error_fetch_clears(self):
+        ctx = GLES2Context(strict_errors=False)
+        ctx.glGetString(0x1234)  # records INVALID_ENUM
+        assert ctx.glGetError() == gl.GL_INVALID_ENUM
+        assert ctx.glGetError() == gl.GL_NO_ERROR
+
+    def test_first_error_wins(self):
+        ctx = GLES2Context(strict_errors=False)
+        ctx.glGetString(0x1234)
+        ctx.glReadPixels(0, 0, 1, 1, gl.GL_RGBA, gl.GL_FLOAT)
+        assert ctx.glGetError() == gl.GL_INVALID_ENUM

@@ -1,0 +1,163 @@
+"""Rasterisation tests: coverage, fill rule, interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.gles2 import enums as gl
+from repro.gles2.raster import (
+    assemble_triangles,
+    interpolate_varying,
+    rasterize_points,
+    rasterize_triangles,
+    viewport_transform,
+)
+
+
+def fullscreen_quad_window(size):
+    """The standard two-triangle quad, transformed to a size x size
+    viewport."""
+    ndc = np.array(
+        [
+            [-1.0, -1.0, 0.0, 1.0],
+            [1.0, -1.0, 0.0, 1.0],
+            [1.0, 1.0, 0.0, 1.0],
+            [-1.0, -1.0, 0.0, 1.0],
+            [1.0, 1.0, 0.0, 1.0],
+            [-1.0, 1.0, 0.0, 1.0],
+        ]
+    )
+    window, w = viewport_transform(ndc, (0, 0, size, size))
+    triangles = assemble_triangles(gl.GL_TRIANGLES, np.arange(6))
+    return window, w, triangles
+
+
+class TestViewportTransform:
+    def test_corners(self):
+        ndc = np.array([[-1.0, -1.0, 0.0, 1.0], [1.0, 1.0, 0.0, 1.0]])
+        window, w = viewport_transform(ndc, (0, 0, 8, 8))
+        assert list(window[0][:2]) == [0.0, 0.0]
+        assert list(window[1][:2]) == [8.0, 8.0]
+
+    def test_viewport_offset(self):
+        ndc = np.array([[0.0, 0.0, 0.0, 1.0]])
+        window, __ = viewport_transform(ndc, (2, 4, 8, 8))
+        assert list(window[0][:2]) == [6.0, 8.0]
+
+    def test_perspective_divide(self):
+        ndc = np.array([[2.0, 2.0, 0.0, 2.0]])
+        window, w = viewport_transform(ndc, (0, 0, 2, 2))
+        assert list(window[0][:2]) == [2.0, 2.0]
+        assert w[0] == 2.0
+
+    def test_depth_range(self):
+        ndc = np.array([[0.0, 0.0, -1.0, 1.0], [0.0, 0.0, 1.0, 1.0]])
+        window, __ = viewport_transform(ndc, (0, 0, 2, 2))
+        assert window[0][2] == 0.0 and window[1][2] == 1.0
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8, 16, 33])
+    def test_quad_covers_every_pixel_exactly_once(self, size):
+        """The top-left rule must shade the quad's diagonal exactly
+        once — double shading means paying a kernel twice (GPGPU
+        correctness for non-idempotent ops)."""
+        window, w, triangles = fullscreen_quad_window(size)
+        batch = rasterize_triangles(window, w, triangles, size, size)
+        assert batch.count == size * size
+        keys = set(zip(batch.px.tolist(), batch.py.tolist()))
+        assert len(keys) == size * size
+
+    def test_degenerate_triangle_no_fragments(self):
+        window = np.array([[0.0, 0.0, 0.0], [4.0, 0.0, 0.0], [8.0, 0.0, 0.0]])
+        batch = rasterize_triangles(
+            window, np.ones(3), np.array([[0, 1, 2]]), 8, 8
+        )
+        assert batch.count == 0
+
+    def test_offscreen_triangle_clipped_to_bounds(self):
+        window = np.array(
+            [[-10.0, -10.0, 0.0], [20.0, -10.0, 0.0], [5.0, 20.0, 0.0]]
+        )
+        batch = rasterize_triangles(
+            window, np.ones(3), np.array([[0, 1, 2]]), 8, 8
+        )
+        assert batch.count > 0
+        assert batch.px.min() >= 0 and batch.px.max() < 8
+        assert batch.py.min() >= 0 and batch.py.max() < 8
+
+    def test_winding_insensitive(self):
+        window = np.array([[0.0, 0.0, 0.0], [8.0, 0.0, 0.0], [0.0, 8.0, 0.0]])
+        ccw = rasterize_triangles(window, np.ones(3), np.array([[0, 1, 2]]), 8, 8)
+        cw = rasterize_triangles(window, np.ones(3), np.array([[0, 2, 1]]), 8, 8)
+        assert ccw.count == cw.count > 0
+
+    def test_empty_triangle_list(self):
+        batch = rasterize_triangles(
+            np.zeros((0, 3)), np.zeros(0), np.zeros((0, 3), dtype=int), 4, 4
+        )
+        assert batch.count == 0
+
+    def test_points(self):
+        window = np.array([[1.5, 2.5, 0.0], [7.5, 7.5, 0.0], [-1.0, 0.0, 0.0]])
+        batch = rasterize_points(window, np.ones(3), np.arange(3), 8, 8)
+        assert batch.count == 2  # third point is off screen
+        assert (batch.px[0], batch.py[0]) == (1, 2)
+
+
+class TestInterpolation:
+    def test_affine_interpolation_of_varying(self):
+        size = 4
+        window, w, triangles = fullscreen_quad_window(size)
+        batch = rasterize_triangles(window, w, triangles, size, size)
+        # Varying = x coordinate in [0,1] across the quad.
+        per_vertex = np.array([0.0, 1.0, 1.0, 0.0, 1.0, 0.0])[:, None]
+        values = interpolate_varying(batch, per_vertex)[:, 0]
+        expected = (batch.px + 0.5) / size
+        assert np.allclose(values, expected)
+
+    def test_vector_varying_shape(self):
+        size = 2
+        window, w, triangles = fullscreen_quad_window(size)
+        batch = rasterize_triangles(window, w, triangles, size, size)
+        per_vertex = np.random.default_rng(0).standard_normal((6, 3))
+        values = interpolate_varying(batch, per_vertex)
+        assert values.shape == (batch.count, 3)
+
+    def test_constant_varying_stays_constant(self):
+        size = 4
+        window, w, triangles = fullscreen_quad_window(size)
+        batch = rasterize_triangles(window, w, triangles, size, size)
+        per_vertex = np.full((6, 1), 7.0)
+        values = interpolate_varying(batch, per_vertex)
+        assert np.allclose(values, 7.0)
+
+    def test_perspective_correct_weights(self):
+        # A triangle with differing w: perspective weights differ from
+        # affine barycentrics and sum to one.
+        window = np.array([[0.0, 0.0, 0.0], [8.0, 0.0, 0.0], [0.0, 8.0, 0.0]])
+        w_clip = np.array([1.0, 4.0, 1.0])
+        batch = rasterize_triangles(window, w_clip, np.array([[0, 1, 2]]), 8, 8)
+        assert np.allclose(batch.persp.sum(axis=1), 1.0)
+        assert not np.allclose(batch.persp, batch.bary)
+
+    def test_frag_z_interpolated(self):
+        window = np.array([[0.0, 0.0, 0.0], [8.0, 0.0, 1.0], [0.0, 8.0, 1.0]])
+        batch = rasterize_triangles(window, np.ones(3), np.array([[0, 1, 2]]), 8, 8)
+        assert batch.frag_z.min() >= 0.0 and batch.frag_z.max() <= 1.0
+
+
+class TestAssembly:
+    def test_triangles_truncates_remainder(self):
+        tris = assemble_triangles(gl.GL_TRIANGLES, np.arange(7))
+        assert tris.shape == (2, 3)
+
+    def test_strip_winding_alternates(self):
+        tris = assemble_triangles(gl.GL_TRIANGLE_STRIP, np.arange(4))
+        assert tris.tolist() == [[0, 1, 2], [2, 1, 3]]
+
+    def test_fan(self):
+        tris = assemble_triangles(gl.GL_TRIANGLE_FAN, np.arange(5))
+        assert tris.tolist() == [[0, 1, 2], [0, 2, 3], [0, 3, 4]]
+
+    def test_too_few_vertices(self):
+        assert assemble_triangles(gl.GL_TRIANGLE_STRIP, np.arange(2)).shape == (0, 3)

@@ -1,0 +1,246 @@
+"""Shader/program object API tests: compile, link, locations, uniforms."""
+
+import numpy as np
+import pytest
+
+from repro.gles2 import GLES2Context, GLError, enums as gl
+
+VS = """
+attribute vec2 a_position;
+varying vec2 v_uv;
+void main() {
+    v_uv = a_position;
+    gl_Position = vec4(a_position, 0.0, 1.0);
+}
+"""
+
+FS = """
+precision mediump float;
+varying vec2 v_uv;
+uniform float u_scale;
+void main() {
+    gl_FragColor = vec4(v_uv * u_scale, 0.0, 1.0);
+}
+"""
+
+
+@pytest.fixture
+def ctx():
+    return GLES2Context(width=4, height=4)
+
+
+def compile_shader(ctx, kind, source):
+    shader = ctx.glCreateShader(kind)
+    ctx.glShaderSource(shader, source)
+    ctx.glCompileShader(shader)
+    return shader
+
+
+def link_program(ctx, vs_source=VS, fs_source=FS):
+    vs = compile_shader(ctx, gl.GL_VERTEX_SHADER, vs_source)
+    fs = compile_shader(ctx, gl.GL_FRAGMENT_SHADER, fs_source)
+    prog = ctx.glCreateProgram()
+    ctx.glAttachShader(prog, vs)
+    ctx.glAttachShader(prog, fs)
+    ctx.glLinkProgram(prog)
+    return prog
+
+
+class TestCompilation:
+    def test_successful_compile(self, ctx):
+        shader = compile_shader(ctx, gl.GL_VERTEX_SHADER, VS)
+        assert ctx.glGetShaderiv(shader, gl.GL_COMPILE_STATUS) == gl.GL_TRUE
+        assert ctx.glGetShaderInfoLog(shader) == ""
+
+    def test_syntax_error_reported_in_info_log(self, ctx):
+        shader = compile_shader(ctx, gl.GL_FRAGMENT_SHADER, "void main( {")
+        assert ctx.glGetShaderiv(shader, gl.GL_COMPILE_STATUS) == gl.GL_FALSE
+        log = ctx.glGetShaderInfoLog(shader)
+        assert "ERROR" in log and "0:" in log
+
+    def test_type_error_reported_with_line(self, ctx):
+        source = "precision mediump float;\nvoid main() {\n  float x = 1;\n}"
+        shader = compile_shader(ctx, gl.GL_FRAGMENT_SHADER, source)
+        assert ctx.glGetShaderiv(shader, gl.GL_COMPILE_STATUS) == gl.GL_FALSE
+        assert "0:3" in ctx.glGetShaderInfoLog(shader)
+
+    def test_invalid_shader_type(self, ctx):
+        with pytest.raises(GLError):
+            ctx.glCreateShader(0x1234)
+
+    def test_recompile_after_fix(self, ctx):
+        shader = compile_shader(ctx, gl.GL_FRAGMENT_SHADER, "broken")
+        assert ctx.glGetShaderiv(shader, gl.GL_COMPILE_STATUS) == gl.GL_FALSE
+        ctx.glShaderSource(shader, "void main() { gl_FragColor = vec4(1.0); }")
+        ctx.glCompileShader(shader)
+        assert ctx.glGetShaderiv(shader, gl.GL_COMPILE_STATUS) == gl.GL_TRUE
+
+
+class TestLinking:
+    def test_successful_link(self, ctx):
+        prog = link_program(ctx)
+        assert ctx.glGetProgramiv(prog, gl.GL_LINK_STATUS) == gl.GL_TRUE
+
+    def test_missing_fragment_shader(self, ctx):
+        vs = compile_shader(ctx, gl.GL_VERTEX_SHADER, VS)
+        prog = ctx.glCreateProgram()
+        ctx.glAttachShader(prog, vs)
+        ctx.glLinkProgram(prog)
+        assert ctx.glGetProgramiv(prog, gl.GL_LINK_STATUS) == gl.GL_FALSE
+
+    def test_varying_mismatch_fails_link(self, ctx):
+        fs = """
+        precision mediump float;
+        varying vec3 v_uv;
+        void main() { gl_FragColor = vec4(v_uv, 1.0); }
+        """
+        prog = link_program(ctx, fs_source=fs)
+        assert ctx.glGetProgramiv(prog, gl.GL_LINK_STATUS) == gl.GL_FALSE
+        assert "v_uv" in ctx.glGetProgramInfoLog(prog)
+
+    def test_undeclared_varying_fails_link(self, ctx):
+        fs = """
+        precision mediump float;
+        varying vec2 v_other;
+        void main() { gl_FragColor = vec4(v_other, 0.0, 1.0); }
+        """
+        prog = link_program(ctx, fs_source=fs)
+        assert ctx.glGetProgramiv(prog, gl.GL_LINK_STATUS) == gl.GL_FALSE
+
+    def test_conflicting_uniform_types_fail_link(self, ctx):
+        vs = """
+        attribute vec2 a_position;
+        uniform vec2 u_shared;
+        void main() { gl_Position = vec4(a_position + u_shared, 0.0, 1.0); }
+        """
+        fs = """
+        precision mediump float;
+        uniform float u_shared;
+        void main() { gl_FragColor = vec4(u_shared); }
+        """
+        prog = link_program(ctx, vs_source=vs, fs_source=fs)
+        assert ctx.glGetProgramiv(prog, gl.GL_LINK_STATUS) == gl.GL_FALSE
+
+    def test_duplicate_shader_type_attach_rejected(self, ctx):
+        vs1 = compile_shader(ctx, gl.GL_VERTEX_SHADER, VS)
+        vs2 = compile_shader(ctx, gl.GL_VERTEX_SHADER, VS)
+        prog = ctx.glCreateProgram()
+        ctx.glAttachShader(prog, vs1)
+        with pytest.raises(GLError):
+            ctx.glAttachShader(prog, vs2)
+
+
+class TestLocations:
+    def test_attribute_location(self, ctx):
+        prog = link_program(ctx)
+        assert ctx.glGetAttribLocation(prog, "a_position") >= 0
+        assert ctx.glGetAttribLocation(prog, "nothere") == -1
+
+    def test_bind_attrib_location_respected(self, ctx):
+        vs = compile_shader(ctx, gl.GL_VERTEX_SHADER, VS)
+        fs = compile_shader(ctx, gl.GL_FRAGMENT_SHADER, FS)
+        prog = ctx.glCreateProgram()
+        ctx.glAttachShader(prog, vs)
+        ctx.glAttachShader(prog, fs)
+        ctx.glBindAttribLocation(prog, 5, "a_position")
+        ctx.glLinkProgram(prog)
+        assert ctx.glGetAttribLocation(prog, "a_position") == 5
+
+    def test_uniform_location(self, ctx):
+        prog = link_program(ctx)
+        assert ctx.glGetUniformLocation(prog, "u_scale") >= 0
+        assert ctx.glGetUniformLocation(prog, "nope") == -1
+
+    def test_uniform_array_element_locations(self, ctx):
+        fs = """
+        precision mediump float;
+        uniform float u_values[3];
+        void main() { gl_FragColor = vec4(u_values[0], u_values[1], u_values[2], 1.0); }
+        """
+        prog = link_program(ctx, fs_source=fs)
+        base = ctx.glGetUniformLocation(prog, "u_values")
+        assert ctx.glGetUniformLocation(prog, "u_values[1]") == base + 1
+        assert ctx.glGetUniformLocation(prog, "u_values[2]") == base + 2
+        assert ctx.glGetUniformLocation(prog, "u_values[3]") == -1
+
+    def test_struct_uniform_member_locations(self, ctx):
+        fs = """
+        precision mediump float;
+        struct Light { vec3 dir; float power; };
+        uniform Light u_light;
+        void main() { gl_FragColor = vec4(u_light.dir * u_light.power, 1.0); }
+        """
+        prog = link_program(ctx, fs_source=fs)
+        assert ctx.glGetUniformLocation(prog, "u_light.dir") >= 0
+        assert ctx.glGetUniformLocation(prog, "u_light.power") >= 0
+
+    def test_active_counts(self, ctx):
+        prog = link_program(ctx)
+        assert ctx.glGetProgramiv(prog, gl.GL_ACTIVE_UNIFORMS) == 1
+        assert ctx.glGetProgramiv(prog, gl.GL_ACTIVE_ATTRIBUTES) == 1
+
+
+class TestUniformSetters:
+    def test_wrong_type_setter_rejected(self, ctx):
+        prog = link_program(ctx)
+        ctx.glUseProgram(prog)
+        loc = ctx.glGetUniformLocation(prog, "u_scale")
+        with pytest.raises(GLError):
+            ctx.glUniform1i(loc, 3)
+
+    def test_wrong_component_count_rejected(self, ctx):
+        prog = link_program(ctx)
+        ctx.glUseProgram(prog)
+        loc = ctx.glGetUniformLocation(prog, "u_scale")
+        with pytest.raises(GLError):
+            ctx.glUniform3f(loc, 1.0, 2.0, 3.0)
+
+    def test_location_minus_one_silently_ignored(self, ctx):
+        prog = link_program(ctx)
+        ctx.glUseProgram(prog)
+        ctx.glUniform1f(-1, 5.0)  # no error, per spec
+        assert ctx.glGetError() == gl.GL_NO_ERROR
+
+    def test_no_program_in_use(self, ctx):
+        prog = link_program(ctx)
+        loc = ctx.glGetUniformLocation(prog, "u_scale")
+        with pytest.raises(GLError):
+            ctx.glUniform1f(loc, 1.0)
+
+    def test_matrix_transpose_must_be_false(self, ctx):
+        fs = """
+        precision mediump float;
+        uniform mat2 u_m;
+        void main() { gl_FragColor = vec4(u_m[0], u_m[1]); }
+        """
+        prog = link_program(ctx, fs_source=fs)
+        ctx.glUseProgram(prog)
+        loc = ctx.glGetUniformLocation(prog, "u_m")
+        with pytest.raises(GLError):
+            ctx.glUniformMatrix2fv(loc, 1, True, np.eye(2))
+
+    def test_uniform_fv_array_fill(self, ctx):
+        fs = """
+        precision mediump float;
+        uniform float u_values[3];
+        void main() { gl_FragColor = vec4(u_values[0], u_values[1], u_values[2], 1.0); }
+        """
+        prog = link_program(ctx, fs_source=fs)
+        ctx.glUseProgram(prog)
+        loc = ctx.glGetUniformLocation(prog, "u_values")
+        ctx.glUniform1fv(loc, 3, [0.1, 0.2, 0.3])
+        leaf = ctx._programs[prog].uniform_leaves["u_values"]
+        assert list(leaf.storage) == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_sampler_binding_unit(self, ctx):
+        fs = """
+        precision mediump float;
+        uniform sampler2D u_tex;
+        void main() { gl_FragColor = texture2D(u_tex, vec2(0.5)); }
+        """
+        prog = link_program(ctx, fs_source=fs)
+        ctx.glUseProgram(prog)
+        loc = ctx.glGetUniformLocation(prog, "u_tex")
+        ctx.glUniform1i(loc, 3)
+        leaf = ctx._programs[prog].uniform_leaves["u_tex"]
+        assert leaf.units[0] == 3

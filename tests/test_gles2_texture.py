@@ -1,0 +1,146 @@
+"""Texture object tests: storage, completeness, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.gles2 import enums as gl
+from repro.gles2.texture import Texture
+
+
+def make_texture(width=4, height=4, fmt=gl.GL_RGBA, pixels=None):
+    tex = Texture(1)
+    if pixels is None:
+        pixels = np.zeros((height, width, gl.FORMAT_COMPONENTS[fmt]), dtype=np.uint8)
+    tex.set_image(width, height, fmt, pixels)
+    tex.params[gl.GL_TEXTURE_MIN_FILTER] = gl.GL_NEAREST
+    tex.params[gl.GL_TEXTURE_MAG_FILTER] = gl.GL_NEAREST
+    return tex
+
+
+class TestStorage:
+    def test_rgba_stored_directly(self):
+        pixels = np.arange(4 * 4 * 4, dtype=np.uint8).reshape(4, 4, 4)
+        tex = make_texture(pixels=pixels)
+        assert np.array_equal(tex.data, pixels)
+
+    def test_rgb_expanded_with_opaque_alpha(self):
+        pixels = np.full((2, 2, 3), 10, dtype=np.uint8)
+        tex = make_texture(2, 2, gl.GL_RGB, pixels)
+        assert np.all(tex.data[:, :, :3] == 10)
+        assert np.all(tex.data[:, :, 3] == 255)
+
+    def test_luminance_replicated(self):
+        pixels = np.full((2, 2, 1), 99, dtype=np.uint8)
+        tex = make_texture(2, 2, gl.GL_LUMINANCE, pixels)
+        assert np.all(tex.data[:, :, :3] == 99)
+        assert np.all(tex.data[:, :, 3] == 255)
+
+    def test_alpha_format(self):
+        pixels = np.full((2, 2, 1), 42, dtype=np.uint8)
+        tex = make_texture(2, 2, gl.GL_ALPHA, pixels)
+        assert np.all(tex.data[:, :, 3] == 42)
+        assert np.all(tex.data[:, :, :3] == 0)
+
+    def test_null_pixels_allocates_zeros(self):
+        tex = Texture(1)
+        tex.set_image(4, 4, gl.GL_RGBA, None)
+        assert tex.data.shape == (4, 4, 4)
+        assert np.all(tex.data[:, :, :3] == 0)
+
+    def test_sub_image(self):
+        tex = make_texture(4, 4)
+        patch = np.full((2, 2, 4), 200, dtype=np.uint8)
+        tex.set_sub_image(1, 1, patch, gl.GL_RGBA)
+        assert np.all(tex.data[1:3, 1:3] == 200)
+        assert np.all(tex.data[0, 0] == 0)
+
+
+class TestCompleteness:
+    def test_default_sampler_state_incomplete_without_mipmaps(self):
+        # Fresh ES 2 textures default to mipmap filtering; without a
+        # mipmap chain they are incomplete — the classic black-texture
+        # pitfall.
+        tex = Texture(1)
+        tex.set_image(4, 4, gl.GL_RGBA, None)
+        assert not tex.is_complete()
+
+    def test_nearest_complete(self):
+        assert make_texture().is_complete()
+
+    def test_no_storage_incomplete(self):
+        assert not Texture(1).is_complete()
+
+    def test_npot_requires_clamp(self):
+        tex = make_texture(3, 4)
+        tex.params[gl.GL_TEXTURE_WRAP_S] = gl.GL_REPEAT
+        assert not tex.is_complete()
+        tex.params[gl.GL_TEXTURE_WRAP_S] = gl.GL_CLAMP_TO_EDGE
+        tex.params[gl.GL_TEXTURE_WRAP_T] = gl.GL_CLAMP_TO_EDGE
+        assert tex.is_complete()
+
+    def test_incomplete_samples_opaque_black(self):
+        tex = Texture(1)
+        result = tex.sample(np.array([0.5]), np.array([0.5]))
+        assert list(result[0]) == [0.0, 0.0, 0.0, 1.0]
+
+
+class TestSampling:
+    def texture_gradient(self):
+        pixels = np.zeros((2, 2, 4), dtype=np.uint8)
+        pixels[0, 0] = [255, 0, 0, 255]
+        pixels[0, 1] = [0, 255, 0, 255]
+        pixels[1, 0] = [0, 0, 255, 255]
+        pixels[1, 1] = [255, 255, 255, 255]
+        return make_texture(2, 2, pixels=pixels)
+
+    def test_nearest_centers(self):
+        tex = self.texture_gradient()
+        texels = tex.sample(np.array([0.25, 0.75]), np.array([0.25, 0.25]))
+        assert list(texels[0]) == [1.0, 0.0, 0.0, 1.0]
+        assert list(texels[1]) == [0.0, 1.0, 0.0, 1.0]
+
+    def test_eq1_scaling(self):
+        pixels = np.full((1, 1, 4), 128, dtype=np.uint8)
+        tex = make_texture(1, 1, pixels=pixels)
+        value = tex.sample(np.array([0.5]), np.array([0.5]))[0, 0]
+        assert value == pytest.approx(128 / 255)
+
+    def test_wrap_repeat(self):
+        tex = self.texture_gradient()
+        tex.params[gl.GL_TEXTURE_WRAP_S] = gl.GL_REPEAT
+        tex.params[gl.GL_TEXTURE_WRAP_T] = gl.GL_REPEAT
+        inside = tex.sample(np.array([0.25]), np.array([0.25]))
+        wrapped = tex.sample(np.array([1.25]), np.array([2.25]))
+        assert np.array_equal(inside, wrapped)
+
+    def test_wrap_clamp(self):
+        tex = self.texture_gradient()
+        tex.params[gl.GL_TEXTURE_WRAP_S] = gl.GL_CLAMP_TO_EDGE
+        tex.params[gl.GL_TEXTURE_WRAP_T] = gl.GL_CLAMP_TO_EDGE
+        outside = tex.sample(np.array([5.0]), np.array([-5.0]))
+        corner = tex.sample(np.array([0.75]), np.array([0.25]))
+        assert np.array_equal(outside, corner)
+
+    def test_wrap_mirror(self):
+        tex = self.texture_gradient()
+        tex.params[gl.GL_TEXTURE_WRAP_S] = gl.GL_MIRRORED_REPEAT
+        tex.params[gl.GL_TEXTURE_WRAP_T] = gl.GL_MIRRORED_REPEAT
+        a = tex.sample(np.array([0.25]), np.array([0.25]))
+        b = tex.sample(np.array([-0.25]), np.array([0.25]))
+        assert np.array_equal(a, b)
+
+    def test_linear_filtering_midpoint(self):
+        pixels = np.zeros((1, 2, 4), dtype=np.uint8)
+        pixels[0, 0] = [0, 0, 0, 255]
+        pixels[0, 1] = [255, 0, 0, 255]
+        tex = make_texture(2, 1, pixels=pixels)
+        tex.params[gl.GL_TEXTURE_MAG_FILTER] = gl.GL_LINEAR
+        tex.params[gl.GL_TEXTURE_WRAP_S] = gl.GL_CLAMP_TO_EDGE
+        tex.params[gl.GL_TEXTURE_WRAP_T] = gl.GL_CLAMP_TO_EDGE
+        value = tex.sample(np.array([0.5]), np.array([0.5]))[0, 0]
+        assert value == pytest.approx(0.5, abs=1e-9)
+
+    def test_batched_sampling_shapes(self):
+        tex = self.texture_gradient()
+        texels = tex.sample(np.linspace(0, 1, 64), np.linspace(0, 1, 64))
+        assert texels.shape == (64, 4)

@@ -1,0 +1,183 @@
+"""Built-in function tests: every §8 family, run through the real
+shader front end."""
+
+import numpy as np
+import pytest
+
+from glsl_helpers import run_fragment_expr, run_fragment_main
+
+
+def close(a, b, tol=1e-9):
+    return abs(a - b) <= tol
+
+
+class TestTrig:
+    def test_radians_degrees(self):
+        assert close(run_fragment_expr("radians(180.0)")[0], np.pi)
+        assert close(run_fragment_expr("degrees(3.141592653589793)")[0], 180.0)
+
+    def test_sin_cos_tan(self):
+        assert close(run_fragment_expr("sin(0.0)")[0], 0.0)
+        assert close(run_fragment_expr("cos(0.0)")[0], 1.0)
+        assert close(run_fragment_expr("tan(0.0)")[0], 0.0)
+
+    def test_inverse_trig(self):
+        assert close(run_fragment_expr("asin(1.0)")[0], np.pi / 2)
+        assert close(run_fragment_expr("acos(1.0)")[0], 0.0)
+        assert close(run_fragment_expr("atan(1.0)")[0], np.pi / 4)
+
+    def test_atan2(self):
+        assert close(run_fragment_expr("atan(1.0, 1.0)")[0], np.pi / 4)
+        assert close(run_fragment_expr("atan(1.0, -1.0)")[0], 3 * np.pi / 4)
+
+    def test_gentype_overloads(self):
+        env, __ = run_fragment_main(
+            "gl_FragColor = vec4(sin(vec2(0.0, 1.5707963)), 0.0, 1.0);"
+        )
+        assert close(env["gl_FragColor"].data[0, 1], 1.0, 1e-6)
+
+
+class TestExponential:
+    def test_pow(self):
+        assert close(run_fragment_expr("pow(2.0, 10.0)")[0], 1024.0)
+
+    def test_exp_log(self):
+        assert close(run_fragment_expr("log(exp(2.0))")[0], 2.0)
+
+    def test_exp2_log2(self):
+        assert close(run_fragment_expr("exp2(8.0)")[0], 256.0)
+        assert close(run_fragment_expr("log2(256.0)")[0], 8.0)
+
+    def test_sqrt_inversesqrt(self):
+        assert close(run_fragment_expr("sqrt(16.0)")[0], 4.0)
+        assert close(run_fragment_expr("inversesqrt(16.0)")[0], 0.25)
+
+
+class TestCommon:
+    def test_abs_sign(self):
+        assert run_fragment_expr("abs(-3.5)")[0] == 3.5
+        assert run_fragment_expr("sign(-3.5)")[0] == -1.0
+        assert run_fragment_expr("sign(0.0)")[0] == 0.0
+
+    def test_floor_ceil_fract(self):
+        assert run_fragment_expr("floor(2.7)")[0] == 2.0
+        assert run_fragment_expr("floor(-2.1)")[0] == -3.0
+        assert run_fragment_expr("ceil(2.1)")[0] == 3.0
+        assert close(run_fragment_expr("fract(2.75)")[0], 0.75)
+
+    def test_mod_follows_glsl_not_c(self):
+        # GLSL mod: x - y*floor(x/y); sign follows y.
+        assert run_fragment_expr("mod(-1.0, 4.0)")[0] == 3.0
+        assert run_fragment_expr("mod(5.5, 2.0)")[0] == 1.5
+
+    def test_mod_vec_float_overload(self):
+        env, __ = run_fragment_main(
+            "gl_FragColor = vec4(mod(vec2(5.0, 6.0), 4.0), 0.0, 1.0);"
+        )
+        assert list(env["gl_FragColor"].data[0, :2]) == [1.0, 2.0]
+
+    def test_min_max_clamp(self):
+        assert run_fragment_expr("min(2.0, 3.0)")[0] == 2.0
+        assert run_fragment_expr("max(2.0, 3.0)")[0] == 3.0
+        assert run_fragment_expr("clamp(5.0, 0.0, 1.0)")[0] == 1.0
+        assert run_fragment_expr("clamp(-5.0, 0.0, 1.0)")[0] == 0.0
+
+    def test_clamp_vec_scalar_bounds(self):
+        env, __ = run_fragment_main(
+            "gl_FragColor = vec4(clamp(vec2(-1.0, 2.0), 0.0, 1.0), 0.0, 1.0);"
+        )
+        assert list(env["gl_FragColor"].data[0, :2]) == [0.0, 1.0]
+
+    def test_mix(self):
+        assert run_fragment_expr("mix(0.0, 10.0, 0.25)")[0] == 2.5
+
+    def test_step_smoothstep(self):
+        assert run_fragment_expr("step(1.0, 0.5)")[0] == 0.0
+        assert run_fragment_expr("step(1.0, 1.5)")[0] == 1.0
+        assert run_fragment_expr("smoothstep(0.0, 1.0, 0.5)")[0] == 0.5
+        assert run_fragment_expr("smoothstep(0.0, 1.0, -1.0)")[0] == 0.0
+
+
+class TestGeometric:
+    def test_length_distance(self):
+        assert run_fragment_expr("length(vec2(3.0, 4.0))")[0] == 5.0
+        assert run_fragment_expr("distance(vec2(1.0, 1.0), vec2(4.0, 5.0))")[0] == 5.0
+
+    def test_scalar_length_is_abs(self):
+        assert run_fragment_expr("length(-7.0)")[0] == 7.0
+
+    def test_dot(self):
+        assert run_fragment_expr("dot(vec3(1.0, 2.0, 3.0), vec3(4.0, 5.0, 6.0))")[0] == 32.0
+
+    def test_cross(self):
+        env, __ = run_fragment_main(
+            "gl_FragColor = vec4(cross(vec3(1.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0)), 1.0);"
+        )
+        assert list(env["gl_FragColor"].data[0, :3]) == [0.0, 0.0, 1.0]
+
+    def test_normalize(self):
+        env, __ = run_fragment_main(
+            "gl_FragColor = vec4(normalize(vec2(3.0, 4.0)), 0.0, 1.0);"
+        )
+        assert close(env["gl_FragColor"].data[0, 0], 0.6)
+        assert close(env["gl_FragColor"].data[0, 1], 0.8)
+
+    def test_reflect(self):
+        env, __ = run_fragment_main(
+            "gl_FragColor = vec4(reflect(vec2(1.0, -1.0), vec2(0.0, 1.0)), 0.0, 1.0);"
+        )
+        assert list(env["gl_FragColor"].data[0, :2]) == [1.0, 1.0]
+
+    def test_faceforward(self):
+        env, __ = run_fragment_main(
+            "gl_FragColor = vec4(faceforward(vec2(0.0, 1.0), vec2(0.0, 1.0), "
+            "vec2(0.0, 1.0)), 0.0, 1.0);"
+        )
+        assert list(env["gl_FragColor"].data[0, :2]) == [0.0, -1.0]
+
+    def test_refract_total_internal_reflection(self):
+        env, __ = run_fragment_main(
+            "vec2 r = refract(normalize(vec2(1.0, -0.04)), vec2(0.0, 1.0), 1.5);"
+            "gl_FragColor = vec4(r, 0.0, 1.0);"
+        )
+        assert list(env["gl_FragColor"].data[0, :2]) == [0.0, 0.0]
+
+
+class TestMatrixAndRelational:
+    def test_matrix_comp_mult(self):
+        env, __ = run_fragment_main(
+            "mat2 a = mat2(1.0, 2.0, 3.0, 4.0);"
+            "mat2 b = mat2(10.0, 10.0, 10.0, 10.0);"
+            "mat2 c = matrixCompMult(a, b);"
+            "gl_FragColor = vec4(c[0], c[1]);"
+        )
+        assert list(env["gl_FragColor"].data[0]) == [10.0, 20.0, 30.0, 40.0]
+
+    def test_vector_relational(self):
+        env, __ = run_fragment_main(
+            "bvec2 lt = lessThan(vec2(1.0, 5.0), vec2(2.0, 2.0));"
+            "gl_FragColor = vec4(lt.x ? 1.0 : 0.0, lt.y ? 1.0 : 0.0, 0.0, 1.0);"
+        )
+        assert list(env["gl_FragColor"].data[0, :2]) == [1.0, 0.0]
+
+    def test_equal_not_equal(self):
+        env, __ = run_fragment_main(
+            "bvec2 eq = equal(ivec2(1, 2), ivec2(1, 3));"
+            "bvec2 ne = notEqual(ivec2(1, 2), ivec2(1, 3));"
+            "gl_FragColor = vec4(eq.x ? 1.0 : 0.0, eq.y ? 1.0 : 0.0, "
+            "ne.x ? 1.0 : 0.0, ne.y ? 1.0 : 0.0);"
+        )
+        assert list(env["gl_FragColor"].data[0]) == [1.0, 0.0, 0.0, 1.0]
+
+    def test_any_all_not(self):
+        assert run_fragment_expr("any(bvec2(true, false)) ? 1.0 : 0.0")[0] == 1.0
+        assert run_fragment_expr("all(bvec2(true, false)) ? 1.0 : 0.0")[0] == 0.0
+        assert run_fragment_expr("all(not(bvec2(false, false))) ? 1.0 : 0.0")[0] == 1.0
+
+    def test_greater_than_equal(self):
+        env, __ = run_fragment_main(
+            "bvec3 ge = greaterThanEqual(vec3(1.0, 2.0, 3.0), vec3(2.0, 2.0, 2.0));"
+            "gl_FragColor = vec4(ge.x ? 1.0 : 0.0, ge.y ? 1.0 : 0.0, "
+            "ge.z ? 1.0 : 0.0, 1.0);"
+        )
+        assert list(env["gl_FragColor"].data[0, :3]) == [0.0, 1.0, 1.0]

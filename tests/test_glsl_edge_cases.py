@@ -1,0 +1,291 @@
+"""Edge-case coverage across the GLSL front end: preprocessor inside
+kernels, struct uniforms through the draw path, matrices of every
+order, arrays as varyings, comma expressions, and odd-but-legal code
+shapes."""
+
+import numpy as np
+import pytest
+
+from repro import GpgpuDevice
+from repro.gles2 import GLES2Context, enums as gl
+
+from glsl_helpers import run_fragment_expr, run_fragment_main
+
+QUAD = np.array(
+    [[-1, -1], [1, -1], [1, 1], [-1, -1], [1, 1], [-1, 1]], dtype=np.float32
+)
+
+
+def draw_with(ctx, vs_source, fs_source, size=2, setup=None):
+    vs = ctx.glCreateShader(gl.GL_VERTEX_SHADER)
+    ctx.glShaderSource(vs, vs_source)
+    ctx.glCompileShader(vs)
+    assert ctx.glGetShaderiv(vs, gl.GL_COMPILE_STATUS), \
+        ctx.glGetShaderInfoLog(vs)
+    fs = ctx.glCreateShader(gl.GL_FRAGMENT_SHADER)
+    ctx.glShaderSource(fs, fs_source)
+    ctx.glCompileShader(fs)
+    assert ctx.glGetShaderiv(fs, gl.GL_COMPILE_STATUS), \
+        ctx.glGetShaderInfoLog(fs)
+    prog = ctx.glCreateProgram()
+    ctx.glAttachShader(prog, vs)
+    ctx.glAttachShader(prog, fs)
+    ctx.glLinkProgram(prog)
+    assert ctx.glGetProgramiv(prog, gl.GL_LINK_STATUS), \
+        ctx.glGetProgramInfoLog(prog)
+    ctx.glUseProgram(prog)
+    if setup:
+        setup(prog)
+    loc = ctx.glGetAttribLocation(prog, "a_position")
+    ctx.glEnableVertexAttribArray(loc)
+    ctx.glVertexAttribPointer(loc, 2, gl.GL_FLOAT, False, 0, QUAD)
+    ctx.glViewport(0, 0, size, size)
+    ctx.glDrawArrays(gl.GL_TRIANGLES, 0, 6)
+    return ctx.glReadPixels(0, 0, size, size, gl.GL_RGBA, gl.GL_UNSIGNED_BYTE)
+
+
+PASSTHROUGH_VS = """
+attribute vec2 a_position;
+void main() { gl_Position = vec4(a_position, 0.0, 1.0); }
+"""
+
+
+class TestPreprocessorInShaders:
+    def test_define_constant_in_fragment(self):
+        ctx = GLES2Context(width=2, height=2)
+        fs = """
+        #define HALF 0.5
+        precision mediump float;
+        void main() { gl_FragColor = vec4(HALF, HALF, HALF, 1.0); }
+        """
+        out = draw_with(ctx, PASSTHROUGH_VS, fs)
+        assert np.all(out[:, :, 0] == 128)
+
+    def test_function_macro_in_fragment(self):
+        ctx = GLES2Context(width=2, height=2)
+        fs = """
+        #define SQ(x) ((x) * (x))
+        precision mediump float;
+        void main() { gl_FragColor = vec4(SQ(0.5), 0.0, 0.0, 1.0); }
+        """
+        out = draw_with(ctx, PASSTHROUGH_VS, fs)
+        assert np.all(out[:, :, 0] == 64)
+
+    def test_ifdef_gl_es_taken(self):
+        ctx = GLES2Context(width=2, height=2)
+        fs = """
+        precision mediump float;
+        void main() {
+        #ifdef GL_ES
+            gl_FragColor = vec4(1.0, 0.0, 0.0, 1.0);
+        #else
+            gl_FragColor = vec4(0.0, 1.0, 0.0, 1.0);
+        #endif
+        }
+        """
+        out = draw_with(ctx, PASSTHROUGH_VS, fs)
+        assert np.all(out[:, :, 0] == 255)
+        assert np.all(out[:, :, 1] == 0)
+
+    def test_kernel_preamble_with_define(self, device):
+        kernel = device.kernel(
+            "macro_kernel", [("a", "int32")], "int32",
+            "result = TWICE(a);",
+            preamble="#define TWICE(x) ((x) * 2.0)",
+        )
+        out = device.empty(4, "int32")
+        kernel(out, {"a": device.array(np.arange(4, dtype=np.int32))})
+        assert list(out.to_host()) == [0, 2, 4, 6]
+
+
+class TestStructUniformsThroughDraw:
+    def test_struct_uniform_values_reach_shader(self):
+        ctx = GLES2Context(width=2, height=2)
+        fs = """
+        precision mediump float;
+        struct Material { vec3 color; float alpha; };
+        uniform Material u_mat;
+        void main() { gl_FragColor = vec4(u_mat.color, u_mat.alpha); }
+        """
+
+        def setup(prog):
+            ctx.glUniform3f(ctx.glGetUniformLocation(prog, "u_mat.color"),
+                            0.25, 0.5, 0.75)
+            ctx.glUniform1f(ctx.glGetUniformLocation(prog, "u_mat.alpha"), 1.0)
+
+        out = draw_with(ctx, PASSTHROUGH_VS, fs, setup=setup)
+        assert np.all(out[:, :, 0] == 64)
+        assert np.all(out[:, :, 1] == 128)
+        assert np.all(out[:, :, 2] == 191)
+
+    def test_array_of_struct_uniform(self):
+        ctx = GLES2Context(width=2, height=2)
+        fs = """
+        precision mediump float;
+        struct Light { float power; };
+        uniform Light u_lights[2];
+        void main() {
+            gl_FragColor = vec4(u_lights[0].power, u_lights[1].power,
+                                0.0, 1.0);
+        }
+        """
+
+        def setup(prog):
+            ctx.glUniform1f(
+                ctx.glGetUniformLocation(prog, "u_lights[0].power"), 0.25
+            )
+            ctx.glUniform1f(
+                ctx.glGetUniformLocation(prog, "u_lights[1].power"), 0.75
+            )
+
+        out = draw_with(ctx, PASSTHROUGH_VS, fs, setup=setup)
+        assert np.all(out[:, :, 0] == 64)
+        assert np.all(out[:, :, 1] == 191)
+
+    def test_mat_uniform_through_draw(self):
+        ctx = GLES2Context(width=2, height=2)
+        fs = """
+        precision mediump float;
+        uniform mat2 u_m;
+        void main() {
+            vec2 v = u_m * vec2(1.0, 0.0);
+            gl_FragColor = vec4(v, 0.0, 1.0);
+        }
+        """
+
+        def setup(prog):
+            ctx.glUniformMatrix2fv(
+                ctx.glGetUniformLocation(prog, "u_m"), 1, False,
+                np.array([[0.5, 0.25], [0.0, 0.0]]),  # column 0 = (0.5, 0.25)
+            )
+
+        out = draw_with(ctx, PASSTHROUGH_VS, fs, setup=setup)
+        assert np.all(out[:, :, 0] == 128)
+        assert np.all(out[:, :, 1] == 64)
+
+
+class TestMatricesAllOrders:
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_identity_times_vector(self, order):
+        env, __ = run_fragment_main(
+            f"mat{order} m = mat{order}(1.0);"
+            f"vec{order} v = vec{order}(0.5);"
+            f"vec{order} r = m * v;"
+            "gl_FragColor = vec4(r[0], r[1], 0.0, 1.0);"
+        )
+        assert env["gl_FragColor"].data[0, 0] == 0.5
+
+    def test_mat4_vec4_product(self):
+        env, __ = run_fragment_main(
+            "mat4 m = mat4(2.0);"
+            "vec4 v = vec4(1.0, 2.0, 3.0, 4.0);"
+            "gl_FragColor = m * v * 0.1;"
+        )
+        assert list(np.round(env["gl_FragColor"].data[0], 6)) == [
+            0.2, 0.4, 0.6, 0.8
+        ]
+
+    def test_mat3_times_mat3(self):
+        env, __ = run_fragment_main(
+            "mat3 a = mat3(2.0); mat3 b = mat3(3.0); mat3 c = a * b;"
+            "gl_FragColor = vec4(c[0][0], c[1][1], c[2][2], c[0][1]);"
+        )
+        assert list(env["gl_FragColor"].data[0]) == [6.0, 6.0, 6.0, 0.0]
+
+
+class TestVaryingShapes:
+    def test_vec4_and_float_varyings(self):
+        ctx = GLES2Context(width=2, height=2)
+        vs = """
+        attribute vec2 a_position;
+        varying vec4 v_color;
+        varying float v_level;
+        void main() {
+            v_color = vec4(0.5);
+            v_level = 0.25;
+            gl_Position = vec4(a_position, 0.0, 1.0);
+        }
+        """
+        fs = """
+        precision mediump float;
+        varying vec4 v_color;
+        varying float v_level;
+        void main() { gl_FragColor = vec4(v_color.rgb, v_level); }
+        """
+        out = draw_with(ctx, vs, fs)
+        assert np.all(out[:, :, 0] == 128)
+        assert np.all(out[:, :, 3] == 64)
+
+    def test_mat2_varying(self):
+        ctx = GLES2Context(width=2, height=2)
+        vs = """
+        attribute vec2 a_position;
+        varying mat2 v_m;
+        void main() {
+            v_m = mat2(0.25, 0.5, 0.75, 1.0);
+            gl_Position = vec4(a_position, 0.0, 1.0);
+        }
+        """
+        fs = """
+        precision mediump float;
+        varying mat2 v_m;
+        void main() { gl_FragColor = vec4(v_m[0], v_m[1]); }
+        """
+        out = draw_with(ctx, vs, fs)
+        assert np.all(out[:, :, 0] == 64)
+        assert np.all(out[:, :, 3] == 255)
+
+
+class TestOddButLegal:
+    def test_comma_in_for_update(self):
+        env, __ = run_fragment_main(
+            "float a = 0.0; float b = 0.0;"
+            "for (int i = 0; i < 3; a += 1.0, i++) { b += 2.0; }"
+            "gl_FragColor = vec4(a, b, 0.0, 1.0);"
+        )
+        assert list(env["gl_FragColor"].data[0, :2]) == [3.0, 6.0]
+
+    def test_chained_assignment(self):
+        env, __ = run_fragment_main(
+            "float a; float b; a = b = 5.0;"
+            "gl_FragColor = vec4(a, b, 0.0, 1.0);"
+        )
+        assert list(env["gl_FragColor"].data[0, :2]) == [5.0, 5.0]
+
+    def test_expression_statement_with_side_effect_only(self):
+        env, __ = run_fragment_main(
+            "float x = 1.0; x++; gl_FragColor = vec4(x, 0.0, 0.0, 1.0);"
+        )
+        assert env["gl_FragColor"].data[0, 0] == 2.0
+
+    def test_deeply_nested_parens(self):
+        assert run_fragment_expr("((((((1.0))))))")[0] == 1.0
+
+    def test_function_shadowing_global(self):
+        env, __ = run_fragment_main(
+            "gl_FragColor = vec4(f(), 0.0, 0.0, 1.0);",
+            decls=(
+                "float shade = 3.0;\n"
+                "float f() { float shade = 7.0; return shade; }"
+            ),
+        )
+        assert env["gl_FragColor"].data[0, 0] == 7.0
+
+    def test_array_parameter(self):
+        env, __ = run_fragment_main(
+            "float xs[3]; xs[0] = 1.0; xs[1] = 2.0; xs[2] = 3.0;"
+            "gl_FragColor = vec4(total(xs), 0.0, 0.0, 1.0);",
+            decls=(
+                "float total(float values[3]) {"
+                "  return values[0] + values[1] + values[2];"
+                "}"
+            ),
+        )
+        assert env["gl_FragColor"].data[0, 0] == 6.0
+
+    def test_const_global_in_expression(self):
+        env, __ = run_fragment_main(
+            "gl_FragColor = vec4(PI * 0.1, 0.0, 0.0, 1.0);",
+            decls="const float PI = 3.0;",
+        )
+        assert abs(env["gl_FragColor"].data[0, 0] - 0.3) < 1e-12

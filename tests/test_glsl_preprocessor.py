@@ -1,0 +1,161 @@
+"""Preprocessor tests: directives, macros, conditionals."""
+
+import pytest
+
+from repro.glsl.errors import GlslPreprocessorError
+from repro.glsl.preprocessor import preprocess
+
+
+class TestVersionAndPragmas:
+    def test_version_100_accepted(self):
+        result = preprocess("#version 100\nvoid main(){}")
+        assert result.version == 100
+
+    def test_other_versions_rejected(self):
+        with pytest.raises(GlslPreprocessorError):
+            preprocess("#version 300 es")
+
+    def test_pragma_recorded(self):
+        result = preprocess("#pragma optimize(off)\n")
+        assert result.pragmas == ["optimize(off)"]
+
+    def test_extension_recorded(self):
+        result = preprocess("#extension GL_OES_standard_derivatives : enable\n")
+        assert result.extensions == {"GL_OES_standard_derivatives": "enable"}
+
+    def test_error_directive(self):
+        with pytest.raises(GlslPreprocessorError, match="nope"):
+            preprocess("#error nope")
+
+    def test_unknown_directive(self):
+        with pytest.raises(GlslPreprocessorError):
+            preprocess("#frobnicate")
+
+    def test_line_count_preserved(self):
+        source = "#define A 1\nfloat x;\n#ifdef A\nfloat y;\n#endif\n"
+        result = preprocess(source)
+        assert result.source.count("\n") == source.count("\n")
+
+
+class TestObjectMacros:
+    def test_simple_define(self):
+        result = preprocess("#define N 16\nfloat a[N];")
+        assert "float a[16];" in result.source
+
+    def test_undef(self):
+        result = preprocess("#define N 16\n#undef N\nN")
+        assert "N" in result.source.split("\n")[2]
+
+    def test_nested_expansion(self):
+        result = preprocess("#define A B\n#define B 3\nint x = A;")
+        assert "int x = 3;" in result.source
+
+    def test_predefined_gl_es(self):
+        result = preprocess("#ifdef GL_ES\nfloat ok;\n#endif")
+        assert "float ok;" in result.source
+
+    def test_version_macro(self):
+        result = preprocess("int v = __VERSION__;")
+        assert "int v = 100;" in result.source
+
+    def test_no_partial_token_expansion(self):
+        result = preprocess("#define N 16\nfloat NN;")
+        assert "float NN;" in result.source
+
+
+class TestFunctionMacros:
+    def test_basic(self):
+        result = preprocess("#define SQ(x) ((x)*(x))\nfloat y = SQ(3.0);")
+        assert "((3.0)*(3.0))" in result.source
+
+    def test_two_args(self):
+        result = preprocess("#define ADD(a, b) (a + b)\nfloat y = ADD(1.0, 2.0);")
+        assert "(1.0 + 2.0)" in result.source
+
+    def test_nested_parens_in_args(self):
+        result = preprocess("#define F(x) x\nfloat y = F(g(1, 2));")
+        assert "g(1, 2)" in result.source
+
+    def test_name_without_parens_not_expanded(self):
+        result = preprocess("#define F(x) x\nfloat F;")
+        assert "float F;" in result.source
+
+    def test_wrong_arity(self):
+        with pytest.raises(GlslPreprocessorError):
+            preprocess("#define F(a, b) a\nfloat y = F(1.0);")
+
+    def test_recursion_guard(self):
+        with pytest.raises(GlslPreprocessorError):
+            preprocess("#define A A A\nA")
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        result = preprocess("#define X\n#ifdef X\nfloat a;\n#endif")
+        assert "float a;" in result.source
+
+    def test_ifdef_skipped(self):
+        result = preprocess("#ifdef X\nfloat a;\n#endif")
+        assert "float a;" not in result.source
+
+    def test_ifndef(self):
+        result = preprocess("#ifndef X\nfloat a;\n#endif")
+        assert "float a;" in result.source
+
+    def test_else(self):
+        result = preprocess("#ifdef X\nfloat a;\n#else\nfloat b;\n#endif")
+        assert "float b;" in result.source
+        assert "float a;" not in result.source
+
+    def test_elif(self):
+        source = "#if 0\nfloat a;\n#elif 1\nfloat b;\n#else\nfloat c;\n#endif"
+        result = preprocess(source)
+        assert "float b;" in result.source
+        assert "float a;" not in result.source
+        assert "float c;" not in result.source
+
+    def test_if_defined(self):
+        result = preprocess("#define X 1\n#if defined(X) && X > 0\nfloat a;\n#endif")
+        assert "float a;" in result.source
+
+    def test_if_arithmetic(self):
+        result = preprocess("#if 2 + 2 == 4\nfloat a;\n#endif")
+        assert "float a;" in result.source
+
+    def test_nested_conditionals(self):
+        source = (
+            "#define A\n#ifdef A\n#ifdef B\nfloat x;\n#else\nfloat y;\n"
+            "#endif\n#endif"
+        )
+        result = preprocess(source)
+        assert "float y;" in result.source
+        assert "float x;" not in result.source
+
+    def test_inactive_branch_skips_directives(self):
+        result = preprocess("#ifdef X\n#error should not fire\n#endif\nfloat z;")
+        assert "float z;" in result.source
+
+    def test_unterminated_if(self):
+        with pytest.raises(GlslPreprocessorError):
+            preprocess("#ifdef X\nfloat a;")
+
+    def test_endif_without_if(self):
+        with pytest.raises(GlslPreprocessorError):
+            preprocess("#endif")
+
+    def test_else_without_if(self):
+        with pytest.raises(GlslPreprocessorError):
+            preprocess("#else")
+
+    def test_double_else(self):
+        with pytest.raises(GlslPreprocessorError):
+            preprocess("#ifdef A\n#else\n#else\n#endif")
+
+    def test_undefined_identifier_in_if_is_zero(self):
+        result = preprocess("#if WHATEVER\nfloat a;\n#endif\nfloat b;")
+        assert "float a;" not in result.source
+        assert "float b;" in result.source
+
+    def test_predefined_injection(self):
+        result = preprocess("#ifdef EXTRA\nfloat a;\n#endif", predefined={"EXTRA": "1"})
+        assert "float a;" in result.source

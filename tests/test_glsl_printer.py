@@ -1,0 +1,137 @@
+"""Pretty-printer tests: parse -> print -> parse is a fixed point."""
+
+import pytest
+
+from repro.glsl import ast_nodes as ast
+from repro.glsl.optimize import optimize
+from repro.glsl.parser import parse
+from repro.glsl.printer import print_expr, print_stmt, print_unit
+
+
+def roundtrip(source: str) -> str:
+    """print(parse(source)); parsing the result must not change it."""
+    once = print_unit(parse(source))
+    twice = print_unit(parse(once))
+    assert once == twice, "printer is not a fixed point"
+    return once
+
+
+class TestExpressions:
+    def expr_text(self, text):
+        unit = parse("void main() { x = " + text + "; }")
+        return print_expr(unit.declarations[0].body.statements[0].expr.value)
+
+    def test_literals(self):
+        assert self.expr_text("42") == "42"
+        assert self.expr_text("1.5") == "1.5"
+        assert self.expr_text("2.0") == "2.0"
+        assert self.expr_text("true") == "true"
+
+    def test_precedence_no_redundant_parens(self):
+        assert self.expr_text("a + b * c") == "a + b * c"
+        assert self.expr_text("(a + b) * c") == "(a + b) * c"
+
+    def test_left_associativity_preserved(self):
+        assert self.expr_text("a - b - c") == "a - b - c"
+        assert self.expr_text("a - (b - c)") == "a - (b - c)"
+
+    def test_unary_and_postfix(self):
+        assert self.expr_text("-a + !b") == "-a + !b"
+        assert self.expr_text("-(a + b)") == "-(a + b)"
+        assert self.expr_text("a++") == "a++"
+
+    def test_ternary(self):
+        assert self.expr_text("a ? b : c") == "a ? b : c"
+
+    def test_call_swizzle_index(self):
+        assert self.expr_text("texture2D(t, uv.xy)[0]") == "texture2D(t, uv.xy)[0]"
+
+    def test_nested_swizzle(self):
+        assert self.expr_text("v.xyz.xy") == "v.xyz.xy"
+
+
+class TestStatements:
+    def test_declaration(self):
+        text = roundtrip("void main() { const float x = 1.0; }")
+        assert "const float x = 1.0;" in text
+
+    def test_if_else(self):
+        text = roundtrip(
+            "void main() { if (a) { b = 1.0; } else { b = 2.0; } }"
+        )
+        assert "if (a)" in text and "else" in text
+
+    def test_for_loop(self):
+        text = roundtrip(
+            "void main() { for (int i = 0; i < 4; i++) { x += 1.0; } }"
+        )
+        assert "for (int i = 0; i < 4; i++)" in text
+
+    def test_while_and_do(self):
+        text = roundtrip(
+            "void main() { while (a) { break; } do { continue; } while (b); }"
+        )
+        assert "while (a)" in text and "do" in text
+
+    def test_braces_added_to_single_statements(self):
+        text = roundtrip("void main() { if (a) discard; }")
+        assert "{" in text.split("if (a)")[1]
+
+    def test_empty_block(self):
+        roundtrip("void main() { if (a) { } }")
+
+
+class TestDeclarations:
+    def test_globals(self):
+        text = roundtrip(
+            "precision mediump float;\n"
+            "uniform sampler2D u_tex;\n"
+            "attribute highp vec4 a_pos;\n"
+            "varying vec2 v_uv;\n"
+            "const int N = 4;\n"
+            "uniform float u_weights[3];\n"
+            "void main() { }"
+        )
+        assert "uniform sampler2D u_tex;" in text
+        assert "uniform float u_weights[3];" in text
+
+    def test_struct(self):
+        text = roundtrip(
+            "struct Light { vec3 dir; float power; };\n"
+            "uniform Light u_light;\n"
+            "void main() { }"
+        )
+        assert "struct Light {" in text
+
+    def test_function_with_qualified_params(self):
+        text = roundtrip(
+            "float f(const in float a, out vec2 b, inout int c) { return a; }\n"
+            "void main() { }"
+        )
+        assert "out vec2 b" in text and "inout int c" in text
+
+    def test_prototype(self):
+        text = roundtrip("float helper(float x);\nvoid main() { }")
+        assert "float helper(float x);" in text
+
+
+class TestPrinterAfterOptimizer:
+    def test_folded_tree_prints_folded_source(self):
+        unit = optimize(parse(
+            "void main() { float x = 2.0 * 3.0; if (true) { x = 1.0; } }"
+        ))
+        text = print_unit(unit)
+        assert "6.0" in text
+        assert "2.0 * 3.0" not in text
+        assert "if" not in text  # branch pruned to a bare block
+
+    def test_generated_kernels_roundtrip(self):
+        from repro.core.codegen import generate_kernel_source
+
+        source = generate_kernel_source(
+            "rt", [("a", "int32"), ("b", "float32")], "float32",
+            "result = float(int(a)) + b * u_k;",
+            uniforms=[("u_k", "float")],
+        )
+        roundtrip(source.fragment)
+        roundtrip(source.vertex)

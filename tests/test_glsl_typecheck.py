@@ -1,0 +1,363 @@
+"""Type checker tests: the GLSL ES rules the paper depends on."""
+
+import pytest
+
+from repro.glsl.errors import GlslTypeError
+from repro.glsl.parser import parse
+from repro.glsl.typecheck import ShaderStage, check
+from repro.glsl.types import FLOAT, INT, VEC4
+
+
+def check_fragment(source):
+    return check(parse(source), ShaderStage.FRAGMENT)
+
+
+def check_vertex(source):
+    return check(parse(source), ShaderStage.VERTEX)
+
+
+def fragment_main(body, decls=""):
+    return check_fragment(decls + "\nvoid main() { " + body + " }")
+
+
+class TestNoImplicitConversions:
+    """GLSL ES 1.00 §4.1.10: no implicit conversions at all."""
+
+    def test_int_plus_float_rejected(self):
+        with pytest.raises(GlslTypeError, match="implicit"):
+            fragment_main("float x = 1 + 1.0;")
+
+    def test_int_initializer_for_float_rejected(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("float x = 1;")
+
+    def test_assignment_mismatch_rejected(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("float x = 1.0; int y = 2; x = y;")
+
+    def test_explicit_constructor_accepted(self):
+        fragment_main("float x = float(1) + 1.0;")
+
+    def test_vec_scalar_base_mismatch_rejected(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("vec2 v = vec2(1.0) * 2;")
+
+
+class TestReservedOperators:
+    """§5.1: %, shifts and bitwise ops are reserved in GLSL ES 1.00 —
+    the very gap the paper's floor/mod byte arithmetic works around."""
+
+    @pytest.mark.parametrize("expr", [
+        "1 % 2", "1 << 2", "1 >> 2", "1 & 2", "1 | 2", "1 ^ 2",
+    ])
+    def test_reserved_binary(self, expr):
+        with pytest.raises(GlslTypeError, match="reserved"):
+            fragment_main(f"int x = {expr};")
+
+    def test_reserved_tilde(self):
+        with pytest.raises(GlslTypeError, match="reserved"):
+            fragment_main("int x = ~1;")
+
+    def test_reserved_compound_assignment(self):
+        with pytest.raises(GlslTypeError, match="reserved"):
+            fragment_main("int x = 1; x %= 2;")
+
+    def test_mod_builtin_is_the_sanctioned_path(self):
+        fragment_main("float x = mod(7.0, 4.0);")
+
+
+class TestQualifierRules:
+    def test_attribute_in_fragment_rejected(self):
+        with pytest.raises(GlslTypeError, match="vertex"):
+            check_fragment("attribute vec4 a;\nvoid main() { }")
+
+    def test_attribute_in_vertex_ok(self):
+        check_vertex("attribute vec4 a;\nvoid main() { gl_Position = a; }")
+
+    def test_attribute_must_be_float_based(self):
+        with pytest.raises(GlslTypeError):
+            check_vertex("attribute ivec2 a;\nvoid main() { gl_Position = vec4(0.0); }")
+
+    def test_varying_must_be_float_based(self):
+        with pytest.raises(GlslTypeError):
+            check_fragment("varying ivec2 v;\nvoid main() { }")
+
+    def test_sampler_must_be_uniform(self):
+        with pytest.raises(GlslTypeError, match="uniform"):
+            check_fragment("varying sampler2D s;\nvoid main() { }")
+
+    def test_uniform_cannot_have_initializer(self):
+        with pytest.raises(GlslTypeError):
+            check_fragment("uniform float u = 1.0;\nvoid main() { }")
+
+    def test_const_requires_initializer(self):
+        with pytest.raises(GlslTypeError):
+            check_fragment("const float c;\nvoid main() { }")
+
+    def test_const_not_assignable(self):
+        with pytest.raises(GlslTypeError, match="assignable"):
+            fragment_main("PI = 3.0;", decls="const float PI = 3.14;")
+
+    def test_uniform_not_assignable(self):
+        with pytest.raises(GlslTypeError, match="assignable"):
+            fragment_main("u = 1.0;", decls="uniform float u;")
+
+    def test_varying_readonly_in_fragment(self):
+        with pytest.raises(GlslTypeError, match="assignable"):
+            fragment_main("v = vec2(0.0);", decls="varying vec2 v;")
+
+    def test_varying_writable_in_vertex(self):
+        check_vertex(
+            "varying vec2 v;\nvoid main() { v = vec2(1.0); "
+            "gl_Position = vec4(0.0); }"
+        )
+
+
+class TestBuiltinVariables:
+    def test_gl_fragcolor_writable(self):
+        checked = fragment_main("gl_FragColor = vec4(1.0);")
+        assert "gl_FragColor" in checked.written_builtins
+
+    def test_gl_fragdata_indexing(self):
+        checked = fragment_main("gl_FragData[0] = vec4(1.0);")
+        assert "gl_FragData" in checked.written_builtins
+
+    def test_gl_fragcoord_read_only(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("gl_FragCoord = vec4(0.0);")
+
+    def test_gl_position_only_in_vertex(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("gl_Position = vec4(0.0);")
+
+    def test_max_draw_buffers_constant(self):
+        # The paper's limitation (8): gl_MaxDrawBuffers == 1.
+        fragment_main("int n = gl_MaxDrawBuffers;")
+
+    def test_builtin_not_redeclarable(self):
+        with pytest.raises(GlslTypeError):
+            check_fragment("uniform vec4 gl_FragColor;\nvoid main() { }")
+
+
+class TestFunctions:
+    def test_missing_main(self):
+        with pytest.raises(GlslTypeError, match="main"):
+            check_fragment("float f() { return 1.0; }")
+
+    def test_main_signature_enforced(self):
+        with pytest.raises(GlslTypeError):
+            check_fragment("float main() { return 1.0; }")
+
+    def test_overloading_by_types(self):
+        check_fragment(
+            "float f(float x) { return x; }\n"
+            "vec2 f(vec2 x) { return x; }\n"
+            "void main() { float a = f(1.0); vec2 b = f(vec2(1.0)); }"
+        )
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(GlslTypeError, match="redefinition"):
+            check_fragment(
+                "float f(float x) { return x; }\n"
+                "float f(float y) { return y; }\n"
+                "void main() { }"
+            )
+
+    def test_unknown_function(self):
+        with pytest.raises(GlslTypeError, match="no function"):
+            fragment_main("float x = nosuch(1.0);")
+
+    def test_wrong_argument_types(self):
+        with pytest.raises(GlslTypeError):
+            check_fragment(
+                "float f(float x) { return x; }\nvoid main() { float y = f(1); }"
+            )
+
+    def test_recursion_rejected(self):
+        with pytest.raises(GlslTypeError, match="recursion"):
+            check_fragment(
+                "float f(float x);\n"
+                "float g(float x) { return f(x); }\n"
+                "float f(float x) { return g(x); }\n"
+                "void main() { float y = f(1.0); }"
+            )
+
+    def test_self_recursion_rejected(self):
+        with pytest.raises(GlslTypeError, match="recursion"):
+            check_fragment(
+                "float f(float x) { return f(x); }\nvoid main() { }"
+            )
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(GlslTypeError):
+            check_fragment("float f() { return 1; }\nvoid main() { }")
+
+    def test_out_param_requires_lvalue(self):
+        with pytest.raises(GlslTypeError):
+            check_fragment(
+                "void f(out float x) { x = 1.0; }\n"
+                "void main() { f(2.0); }"
+            )
+
+
+class TestOperatorsAndTypes:
+    def test_matrix_vector_product(self):
+        checked = fragment_main(
+            "mat3 m = mat3(1.0); vec3 v = vec3(1.0); vec3 r = m * v;"
+        )
+        assert checked.has_main
+
+    def test_vector_matrix_product(self):
+        fragment_main("mat2 m = mat2(1.0); vec2 v = vec2(1.0); vec2 r = v * m;")
+
+    def test_matrix_matrix_product(self):
+        fragment_main("mat2 a = mat2(1.0); mat2 b = mat2(2.0); mat2 c = a * b;")
+
+    def test_mismatched_matrix_vector(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("mat3 m = mat3(1.0); vec2 v = vec2(1.0); vec2 r = m * v;")
+
+    def test_relational_scalars_only(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("bool b = vec2(1.0) < vec2(2.0);")
+
+    def test_equality_on_vectors(self):
+        fragment_main("bool b = vec2(1.0) == vec2(2.0);")
+
+    def test_logical_needs_bool(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("bool b = 1.0 && true;")
+
+    def test_condition_must_be_bool(self):
+        with pytest.raises(GlslTypeError, match="bool"):
+            fragment_main("if (1.0) { }")
+
+    def test_ternary_branch_types_match(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("float x = true ? 1.0 : 1;")
+
+    def test_increment_on_lvalue_only(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("float x = (1.0 + 2.0)++;")
+
+
+class TestConstructorsSwizzlesIndexing:
+    def test_vector_constructor_component_count(self):
+        with pytest.raises(GlslTypeError, match="few"):
+            fragment_main("vec4 v = vec4(1.0, 2.0);")
+
+    def test_vector_constructor_too_many_args(self):
+        with pytest.raises(GlslTypeError, match="many"):
+            fragment_main("vec2 v = vec2(1.0, 2.0, 3.0);")
+
+    def test_scalar_splat(self):
+        fragment_main("vec4 v = vec4(1.0);")
+
+    def test_vector_from_mixed(self):
+        fragment_main("vec4 v = vec4(vec2(1.0), 1.0, 0.0);")
+
+    def test_matrix_from_matrix_rejected_in_es(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("mat2 a = mat2(1.0); mat3 b = mat3(a);")
+
+    def test_bad_swizzle(self):
+        with pytest.raises(GlslTypeError, match="swizzle"):
+            fragment_main("vec2 v = vec2(1.0); float x = v.z;")
+
+    def test_mixed_swizzle_sets_rejected(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("vec4 v = vec4(1.0); vec2 w = v.xg;")
+
+    def test_swizzle_types(self):
+        fragment_main("vec4 v = vec4(1.0); vec3 w = v.rgb; float f = v.a;")
+
+    def test_index_must_be_int(self):
+        with pytest.raises(GlslTypeError, match="int"):
+            fragment_main("vec4 v = vec4(1.0); float x = v[1.0];")
+
+    def test_array_declaration_and_index(self):
+        fragment_main("float xs[4]; xs[0] = 1.0; float y = xs[3];")
+
+    def test_array_size_must_be_positive_constant(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("float xs[0];")
+
+    def test_array_size_constant_expression(self):
+        fragment_main("float xs[2 + 2]; xs[3] = 1.0;")
+
+    def test_struct_field_access(self):
+        fragment_main(
+            "S s; s.x = 1.0; float y = s.x;",
+            decls="struct S { float x; };",
+        )
+
+    def test_unknown_struct_field(self):
+        with pytest.raises(GlslTypeError, match="field"):
+            fragment_main(
+                "S s; s.y = 1.0;",
+                decls="struct S { float x; };",
+            )
+
+    def test_struct_constructor(self):
+        fragment_main(
+            "S s = S(1.0, vec2(2.0));",
+            decls="struct S { float x; vec2 v; };",
+        )
+
+    def test_struct_constructor_wrong_args(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main(
+                "S s = S(1.0);",
+                decls="struct S { float x; vec2 v; };",
+            )
+
+
+class TestScoping:
+    def test_undeclared_identifier(self):
+        with pytest.raises(GlslTypeError, match="undeclared"):
+            fragment_main("float x = nothere;")
+
+    def test_shadowing_in_nested_scope(self):
+        fragment_main("float x = 1.0; { float x = 2.0; } x = 3.0;")
+
+    def test_same_scope_redefinition_rejected(self):
+        with pytest.raises(GlslTypeError, match="redefinition"):
+            fragment_main("float x = 1.0; float x = 2.0;")
+
+    def test_scope_ends_with_block(self):
+        with pytest.raises(GlslTypeError, match="undeclared"):
+            fragment_main("{ float y = 1.0; } y = 2.0;")
+
+    def test_for_init_scoped_to_loop(self):
+        with pytest.raises(GlslTypeError, match="undeclared"):
+            fragment_main("for (int i = 0; i < 2; i++) { } int j = i;")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(GlslTypeError):
+            fragment_main("break;")
+
+    def test_discard_fragment_only(self):
+        with pytest.raises(GlslTypeError):
+            check_vertex("void main() { discard; gl_Position = vec4(0.0); }")
+
+
+class TestSymbolTables:
+    def test_active_uniforms_listed(self):
+        checked = check_fragment(
+            "uniform float a;\nuniform vec2 b;\nvoid main() { float x = a + b.x; }"
+        )
+        names = {u.name for u in checked.active_uniforms()}
+        assert names == {"a", "b"}
+
+    def test_attributes_listed(self):
+        checked = check_vertex(
+            "attribute vec4 p;\nattribute vec2 t;\n"
+            "void main() { gl_Position = p + vec4(t, 0.0, 0.0); }"
+        )
+        assert {a.name for a in checked.active_attributes()} == {"p", "t"}
+
+    def test_varyings_listed(self):
+        checked = check_fragment(
+            "varying vec2 v_uv;\nvoid main() { gl_FragColor = vec4(v_uv, 0.0, 1.0); }"
+        )
+        assert [v.name for v in checked.varyings()] == ["v_uv"]

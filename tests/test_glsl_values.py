@@ -1,0 +1,155 @@
+"""Unit tests for the interpreter's value model (repro.glsl.values)."""
+
+import numpy as np
+import pytest
+
+from repro.glsl.errors import GlslRuntimeError
+from repro.glsl.types import (
+    FLOAT,
+    INT,
+    MAT2,
+    VEC2,
+    VEC3,
+    array_of,
+    struct_type,
+)
+from repro.glsl.values import (
+    Value,
+    assign_masked,
+    batch_of,
+    broadcast_lanes,
+    flatten_components,
+    masked_blend,
+    zeros_for,
+)
+
+
+class TestZerosFor:
+    def test_scalar_shapes_and_dtypes(self):
+        f = zeros_for(FLOAT, 4, np.float64)
+        i = zeros_for(INT, 4, np.float64)
+        assert f.data.shape == (4,) and f.data.dtype == np.float64
+        assert i.data.shape == (4,) and i.data.dtype == np.int32
+
+    def test_vector_and_matrix(self):
+        v = zeros_for(VEC3, 2, np.float32)
+        m = zeros_for(MAT2, 2, np.float32)
+        assert v.data.shape == (2, 3) and v.data.dtype == np.float32
+        assert m.data.shape == (2, 2, 2)
+
+    def test_array_of_vectors(self):
+        a = zeros_for(array_of(VEC2, 5), 3, np.float64)
+        assert a.data.shape == (3, 5, 2)
+
+    def test_struct(self):
+        s = struct_type("S", [("x", FLOAT), ("v", VEC2)])
+        value = zeros_for(s, 2, np.float64)
+        assert value.fields["x"].data.shape == (2,)
+        assert value.fields["v"].data.shape == (2, 2)
+
+    def test_array_of_structs(self):
+        s = struct_type("S", [("x", FLOAT)])
+        value = zeros_for(array_of(s, 3), 2, np.float64)
+        assert set(value.fields) == {"0", "1", "2"}
+
+
+class TestBatchOf:
+    def test_uniform_and_batched_mix(self):
+        a = Value(FLOAT, np.zeros(1))
+        b = Value(FLOAT, np.zeros(8))
+        assert batch_of(a, b) == 8
+
+    def test_all_uniform(self):
+        a = Value(FLOAT, np.zeros(1))
+        assert batch_of(a, a) == 1
+
+    def test_conflict_raises(self):
+        a = Value(FLOAT, np.zeros(4))
+        b = Value(FLOAT, np.zeros(8))
+        with pytest.raises(GlslRuntimeError):
+            batch_of(a, b)
+
+
+class TestMaskedOps:
+    def test_masked_blend_partial(self):
+        old = np.array([1.0, 2.0, 3.0])
+        new = np.array([10.0, 20.0, 30.0])
+        mask = np.array([True, False, True])
+        assert list(masked_blend(old, new, mask)) == [10.0, 2.0, 30.0]
+
+    def test_masked_blend_full_returns_copy(self):
+        old = np.array([1.0])
+        new = np.array([5.0, 6.0])
+        out = masked_blend(old, new, np.array([True, True]))
+        assert list(out) == [5.0, 6.0]
+        out[0] = 99.0
+        assert new[0] == 5.0  # copy, not alias
+
+    def test_masked_blend_vector_components(self):
+        old = np.zeros((2, 3))
+        new = np.ones((2, 3))
+        mask = np.array([True, False])
+        blended = masked_blend(old, new, mask)
+        assert np.all(blended[0] == 1.0) and np.all(blended[1] == 0.0)
+
+    def test_assign_masked_replaces_array(self):
+        target = Value(FLOAT, np.zeros(3))
+        original = target.data
+        assign_masked(target, Value(FLOAT, np.ones(3)),
+                      np.array([True, True, False]))
+        assert list(target.data) == [1.0, 1.0, 0.0]
+        assert original is not target.data  # old array untouched
+        assert np.all(original == 0.0)
+
+    def test_assign_masked_struct_recursion(self):
+        s = struct_type("S", [("x", FLOAT)])
+        target = zeros_for(s, 2, np.float64)
+        source = zeros_for(s, 2, np.float64)
+        source.fields["x"].data[:] = 7.0
+        assign_masked(target, source, np.array([True, False]))
+        assert list(target.fields["x"].data) == [7.0, 0.0]
+
+    def test_assign_masked_dtype_preserved(self):
+        target = Value(INT, np.zeros(2, dtype=np.int32))
+        assign_masked(target, Value(INT, np.array([5.0, 6.0])),
+                      np.array([True, True]))
+        assert target.data.dtype == np.int32
+
+
+class TestBroadcastAndFlatten:
+    def test_broadcast_lanes(self):
+        data = np.array([[1.0, 2.0]])
+        out = broadcast_lanes(data, 3)
+        assert out.shape == (3, 2)
+        out[0, 0] = 9.0  # materialised copy, safe to write
+        assert data[0, 0] == 1.0
+
+    def test_broadcast_noop_when_batched(self):
+        data = np.zeros((3, 2))
+        assert broadcast_lanes(data, 3) is data
+
+    def test_flatten_scalars_and_vectors(self):
+        a = Value(FLOAT, np.array([1.0]))
+        v = Value(VEC2, np.array([[2.0, 3.0]]))
+        flat = flatten_components([a, v])
+        assert flat.shape == (1, 3)
+        assert list(flat[0]) == [1.0, 2.0, 3.0]
+
+    def test_flatten_matrix_column_major(self):
+        m = Value(MAT2, np.arange(4.0).reshape(1, 2, 2))
+        flat = flatten_components([m])
+        assert list(flat[0]) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_flatten_broadcasts_batches(self):
+        a = Value(FLOAT, np.array([1.0]))
+        b = Value(FLOAT, np.array([2.0, 3.0]))
+        flat = flatten_components([a, b])
+        assert flat.shape == (2, 2)
+        assert list(flat[:, 0]) == [1.0, 1.0]
+
+    def test_clone_deep(self):
+        s = struct_type("S", [("x", FLOAT)])
+        value = zeros_for(s, 1, np.float64)
+        clone = value.clone()
+        clone.fields["x"].data[:] = 5.0
+        assert value.fields["x"].data[0] == 0.0

@@ -1,0 +1,199 @@
+"""Integration tests: multi-kernel GPGPU workflows end to end.
+
+These mirror how a downstream user would compose the library — several
+kernels, mixed formats, texture reuse, and the performance model — in
+one scenario each.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GpgpuDevice, Pipeline
+from repro.kernels import (
+    inclusive_scan,
+    make_saxpy_kernel,
+    make_sgemm_kernel,
+    make_sum_kernel,
+    reduce_sum,
+    transpose,
+)
+from repro.validation import precision_report
+
+
+class TestNormalizationWorkflow:
+    """Mean-subtraction: reduce to a sum, then an elementwise pass."""
+
+    def test_mean_subtract(self, device):
+        rng = np.random.default_rng(21)
+        xs = (rng.standard_normal(256) * 10).astype(np.float32)
+        array = device.array(xs)
+        total = reduce_sum(device, array)
+        mean = float(total) / 256
+        shift = device.kernel(
+            "subtract", [("a", "float32")], "float32",
+            "result = a - u_mean;", uniforms=[("u_mean", "float")],
+        )
+        out = device.empty(256, "float32")
+        shift(out, {"a": array}, {"u_mean": mean})
+        result = out.to_host()
+        assert abs(result.mean()) < 1e-3
+
+
+class TestMatrixChain:
+    """(A @ B).T == B.T @ A.T — two routes through sgemm/transpose."""
+
+    def test_transpose_identity(self, device, n=8):
+        rng = np.random.default_rng(22)
+        a = rng.integers(-50, 50, (n, n)).astype(np.int32)
+        b = rng.integers(-50, 50, (n, n)).astype(np.int32)
+        zero = np.zeros((n, n), dtype=np.int32)
+        sgemm = make_sgemm_kernel(device, "int32", n)
+
+        def gpu_matmul(x, y):
+            out = device.empty(n * n, "int32")
+            sgemm(out, {
+                "a": device.array(x.reshape(-1)),
+                "b": device.array(y.reshape(-1)),
+                "c0": device.array(zero.reshape(-1)),
+            }, {"u_n": float(n), "u_alpha": 1.0, "u_beta": 0.0})
+            return out
+
+        ab = gpu_matmul(a, b)
+        ab_t = transpose(device, ab, n, n)
+        bt_at = gpu_matmul(b.T.copy(), a.T.copy())
+        assert np.array_equal(ab_t.to_host(), bt_at.to_host())
+
+
+class TestMixedFormatWorkflow:
+    """Quantisation: float32 -> uint8 and back, two formats sharing a
+    pipeline."""
+
+    def test_quantise_dequantise(self, device):
+        rng = np.random.default_rng(23)
+        xs = rng.uniform(0, 1, 128).astype(np.float32)
+        quantise = device.kernel(
+            "quantise", [("a", "float32")], "uint8",
+            "result = floor(a * 255.0 + 0.5);",
+        )
+        dequantise = device.kernel(
+            "dequantise", [("q", "uint8")], "float32",
+            "result = q / 255.0;",
+        )
+        q = device.empty(128, "uint8")
+        quantise(q, {"a": device.array(xs)})
+        back = device.empty(128, "float32")
+        dequantise(back, {"q": q})
+        assert np.allclose(back.to_host(), xs, atol=1 / 255 / 2 + 1e-6)
+
+
+class TestIterativeSolver:
+    """Jacobi iteration for a diagonally dominant system, ping-pong
+    between two arrays across many launches."""
+
+    def test_jacobi_converges(self, device_ieee32):
+        device = device_ieee32
+        n = 16
+        rng = np.random.default_rng(24)
+        a_off = rng.uniform(-0.5, 0.5, (n, n)).astype(np.float32)
+        np.fill_diagonal(a_off, 0.0)
+        diag = (np.abs(a_off).sum(axis=1) + 1.0).astype(np.float32)
+        b = rng.uniform(-1, 1, n).astype(np.float32)
+
+        # x_new[i] = (b[i] - sum_j offdiag[i,j] x[j]) / diag[i]
+        body = f"""
+float i = gpgpu_index;
+float acc = 0.0;
+for (int j = 0; j < {n}; j++) {{
+    acc += fetch_offdiag(i * {float(n)} + float(j)) * fetch_x(float(j));
+}}
+result = (fetch_b(i) - acc) / fetch_diag(i);
+"""
+        step = device.kernel(
+            "jacobi",
+            [("offdiag", "float32"), ("x", "float32"),
+             ("b", "float32"), ("diag", "float32")],
+            "float32",
+            body,
+            mode="gather",
+        )
+        offdiag = device.array(a_off.reshape(-1))
+        b_arr = device.array(b)
+        diag_arr = device.array(diag)
+        x = device.array(np.zeros(n, dtype=np.float32))
+        x_next = device.empty(n, "float32")
+        for __ in range(40):
+            step(x_next, {"offdiag": offdiag, "x": x, "b": b_arr,
+                          "diag": diag_arr})
+            x, x_next = x_next, x
+        solution = x.to_host()
+        full = a_off + np.diag(diag)
+        residual = np.abs(full @ solution - b).max()
+        assert residual < 1e-4
+
+
+class TestScanBasedCompaction:
+    """Stream compaction: flags -> exclusive positions via scan."""
+
+    def test_positions_from_scan(self, device):
+        values = np.array([5, -2, 7, -1, -8, 3, 9, -4], dtype=np.int32)
+        flag = device.kernel(
+            "flag_positive", [("a", "int32")], "int32",
+            "result = a > 0.0 ? 1.0 : 0.0;",
+        )
+        flags = device.empty(8, "int32")
+        flag(flags, {"a": device.array(values)})
+        positions = inclusive_scan(device, flags)
+        result = positions.to_host()
+        expected = np.cumsum(values > 0).astype(np.int32)
+        assert np.array_equal(result, expected)
+        assert result[-1] == 4  # four positives
+
+
+class TestPerformanceAccounting:
+    def test_wall_time_grows_with_work(self):
+        small = GpgpuDevice(float_model="ieee32")
+        large = GpgpuDevice(float_model="ieee32")
+        for device, n in ((small, 256), (large, 16384)):
+            kernel = make_sum_kernel(device, "int32")
+            a = device.array(np.zeros(n, dtype=np.int32))
+            b = device.array(np.zeros(n, dtype=np.int32))
+            out = device.empty(n, "int32")
+            kernel(out, {"a": a, "b": b})
+            out.to_host()
+        assert (
+            large.wall_time().total_seconds > small.wall_time().total_seconds
+        )
+
+    def test_saxpy_matches_cpu_and_counts_flops(self, device_ieee32):
+        device = device_ieee32
+        rng = np.random.default_rng(25)
+        x = rng.standard_normal(1024).astype(np.float32)
+        y = rng.standard_normal(1024).astype(np.float32)
+        kernel = make_saxpy_kernel(device)
+        out = device.empty(1024, "float32")
+        kernel(out, {"x": device.array(x), "y": device.array(y)},
+               {"u_alpha": 3.0})
+        assert np.allclose(out.to_host(), 3.0 * x + y, rtol=1e-6)
+        draw = device.ctx.stats.draws[-1]
+        assert draw.fragment_ops.alu > 1024  # unpack+madd+pack per element
+        assert draw.fragment_ops.tex == 2048  # two fetches per element
+
+
+class TestPrecisionAcrossModels:
+    def test_same_kernel_three_models(self):
+        rng = np.random.default_rng(26)
+        xs = (rng.standard_normal(512) * 50).astype(np.float32)
+        ys = (rng.standard_normal(512) * 50).astype(np.float32)
+        reference = xs + ys
+        medians = {}
+        for model in ("exact", "ieee32", "videocore"):
+            device = GpgpuDevice(float_model=model)
+            kernel = make_sum_kernel(device, "float32")
+            out = device.empty(512, "float32")
+            kernel(out, {"a": device.array(xs), "b": device.array(ys)})
+            medians[model] = precision_report(
+                reference, out.to_host()
+            ).median_bits
+        assert medians["ieee32"] == 23.0
+        assert medians["exact"] >= 22.0
+        assert 15.0 <= medians["videocore"] < 23.0

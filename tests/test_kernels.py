@@ -1,0 +1,187 @@
+"""Tests for the kernel standard library (sum, sgemm, saxpy, scale,
+reduction)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import cpu_saxpy, cpu_sgemm, cpu_sum
+from repro.baselines.cpu_kernels import random_matrices
+from repro.kernels import (
+    make_reduce_step_kernel,
+    make_saxpy_kernel,
+    make_scale_kernel,
+    make_sgemm_kernel,
+    make_sum_kernel,
+    reduce_sum,
+)
+
+
+class TestSumKernel:
+    @pytest.mark.parametrize("fmt,dtype,lo,hi", [
+        ("int32", np.int32, -(2**22), 2**22),
+        ("uint32", np.uint32, 0, 2**23),
+    ])
+    def test_integer_sum_exact(self, device, fmt, dtype, lo, hi):
+        rng = np.random.default_rng(1)
+        a = rng.integers(lo, hi, 257).astype(dtype)
+        b = rng.integers(lo, hi, 257).astype(dtype)
+        kernel = make_sum_kernel(device, fmt)
+        out = device.empty(257, fmt)
+        kernel(out, {"a": device.array(a), "b": device.array(b)})
+        assert np.array_equal(out.to_host(), cpu_sum(a, b))
+
+    def test_float_sum_bitexact_under_ieee32(self, device_ieee32):
+        rng = np.random.default_rng(2)
+        a = (rng.standard_normal(300) * 1e3).astype(np.float32)
+        b = (rng.standard_normal(300) * 1e3).astype(np.float32)
+        kernel = make_sum_kernel(device_ieee32, "float32")
+        out = device_ieee32.empty(300, "float32")
+        kernel(out, {"a": device_ieee32.array(a), "b": device_ieee32.array(b)})
+        assert np.array_equal(out.to_host(), a + b)
+
+    def test_uint8_sum(self, device):
+        a = np.arange(100, dtype=np.uint8)
+        b = np.full(100, 50, dtype=np.uint8)
+        kernel = device.kernel(
+            "sum8", [("a", "uint8"), ("b", "uint8")], "uint8",
+            "result = mod(a + b, 256.0);",
+        )
+        out = device.empty(100, "uint8")
+        kernel(out, {"a": device.array(a), "b": device.array(b)})
+        assert np.array_equal(
+            out.to_host(), ((a.astype(int) + b) % 256).astype(np.uint8)
+        )
+
+    def test_int8_sum(self, device):
+        a = np.arange(-50, 50, dtype=np.int8)
+        b = np.full(100, 3, dtype=np.int8)
+        kernel = make_sum_kernel(device, "int8")
+        out = device.empty(100, "int8")
+        kernel(out, {"a": device.array(a), "b": device.array(b)})
+        assert np.array_equal(out.to_host(), a + b)
+
+
+class TestSaxpyScale:
+    def test_saxpy(self, device_ieee32):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(64).astype(np.float32)
+        y = rng.standard_normal(64).astype(np.float32)
+        kernel = make_saxpy_kernel(device_ieee32)
+        out = device_ieee32.empty(64, "float32")
+        kernel(out, {"x": device_ieee32.array(x), "y": device_ieee32.array(y)},
+               {"u_alpha": 2.0})
+        assert np.allclose(out.to_host(), cpu_saxpy(2.0, x, y), rtol=1e-6)
+
+    def test_scale(self, device):
+        x = np.array([1.0, -2.0, 3.5], dtype=np.float32)
+        kernel = make_scale_kernel(device)
+        out = device.empty(3, "float32")
+        kernel(out, {"a": device.array(x)}, {"u_factor": -2.0})
+        assert list(out.to_host()) == [-2.0, 4.0, -7.0]
+
+
+class TestSgemmKernel:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_int_sgemm_exact(self, device, n):
+        a, b, c = random_matrices(n, np.int32)
+        kernel = make_sgemm_kernel(device, "int32", n)
+        out = device.empty(n * n, "int32")
+        kernel(
+            out,
+            {"a": device.array(a.reshape(-1)), "b": device.array(b.reshape(-1)),
+             "c0": device.array(c.reshape(-1))},
+            {"u_n": float(n), "u_alpha": 1.0, "u_beta": 1.0},
+        )
+        assert np.array_equal(
+            out.to_host().reshape(n, n), cpu_sgemm(1, a, b, 1, c, integer=True)
+        )
+
+    def test_float_sgemm_close(self, device_ieee32, n=8):
+        a, b, c = random_matrices(n, np.float32)
+        kernel = make_sgemm_kernel(device_ieee32, "float32", n)
+        out = device_ieee32.empty(n * n, "float32")
+        kernel(
+            out,
+            {"a": device_ieee32.array(a.reshape(-1)),
+             "b": device_ieee32.array(b.reshape(-1)),
+             "c0": device_ieee32.array(c.reshape(-1))},
+            {"u_n": float(n), "u_alpha": 2.0, "u_beta": 0.5},
+        )
+        want = cpu_sgemm(2.0, a, b, 0.5, c)
+        assert np.allclose(out.to_host().reshape(n, n), want, rtol=1e-4)
+
+    def test_alpha_beta_zero(self, device, n=4):
+        a, b, c = random_matrices(n, np.int32)
+        kernel = make_sgemm_kernel(device, "int32", n)
+        out = device.empty(n * n, "int32")
+        kernel(
+            out,
+            {"a": device.array(a.reshape(-1)), "b": device.array(b.reshape(-1)),
+             "c0": device.array(c.reshape(-1))},
+            {"u_n": float(n), "u_alpha": 0.0, "u_beta": 1.0},
+        )
+        assert np.array_equal(out.to_host().reshape(n, n), c)
+
+    def test_identity_matrix(self, device, n=4):
+        identity = np.eye(n, dtype=np.int32)
+        b = np.arange(n * n, dtype=np.int32).reshape(n, n)
+        zero = np.zeros((n, n), dtype=np.int32)
+        kernel = make_sgemm_kernel(device, "int32", n)
+        out = device.empty(n * n, "int32")
+        kernel(
+            out,
+            {"a": device.array(identity.reshape(-1)),
+             "b": device.array(b.reshape(-1)),
+             "c0": device.array(zero.reshape(-1))},
+            {"u_n": float(n), "u_alpha": 1.0, "u_beta": 0.0},
+        )
+        assert np.array_equal(out.to_host().reshape(n, n), b)
+
+
+class TestReduction:
+    def test_power_of_two_length(self, device):
+        xs = np.arange(1, 257, dtype=np.float32)
+        total = reduce_sum(device, device.array(xs))
+        assert total == xs.sum()
+
+    def test_odd_length(self, device):
+        xs = np.arange(1, 101, dtype=np.float32)  # 100 elements
+        total = reduce_sum(device, device.array(xs))
+        assert total == 5050.0
+
+    def test_single_element(self, device):
+        xs = np.array([42.0], dtype=np.float32)
+        assert reduce_sum(device, device.array(xs)) == 42.0
+
+    def test_int_reduction(self, device):
+        xs = np.arange(64, dtype=np.int32)
+        total = reduce_sum(device, device.array(xs))
+        assert total == xs.sum()
+
+    def test_pass_count_is_logarithmic(self, device):
+        xs = np.ones(64, dtype=np.int32)
+        array = device.array(xs)
+        kernel = make_reduce_step_kernel(device, array.format)
+        before = len(device.ctx.stats.draws)
+        reduce_sum(device, array, kernel)
+        # 64 -> 32 -> 16 -> 8 -> 4 -> 2 -> 1 : 6 reduction passes (+1
+        # possible copy pass for the final 1-element readback).
+        draws = len(device.ctx.stats.draws) - before
+        assert draws in (6, 7)
+
+
+class TestRandomMatrices:
+    def test_int_values_bounded_for_24bit_envelope(self):
+        n = 64
+        a, b, __ = random_matrices(n, np.int32)
+        worst = n * np.abs(a).max() * np.abs(b).max()
+        assert worst < 2**24
+
+    def test_float_dtype(self):
+        a, __, __ = random_matrices(8, np.float32)
+        assert a.dtype == np.float32
+
+    def test_deterministic_by_seed(self):
+        a1, __, __ = random_matrices(8, np.int32, seed=5)
+        a2, __, __ = random_matrices(8, np.int32, seed=5)
+        assert np.array_equal(a1, a2)

@@ -1,0 +1,147 @@
+"""Tests for the extended kernel library: scan, transpose, convolution,
+min/max reductions and GPU argmin."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    argmin_via_encoding,
+    convolve1d,
+    exclusive_scan,
+    inclusive_scan,
+    reduce_max,
+    reduce_min,
+    transpose,
+)
+
+
+class TestScan:
+    def test_inclusive_scan_pow2(self, device):
+        xs = np.arange(1, 65, dtype=np.float32)
+        result = inclusive_scan(device, device.array(xs))
+        assert np.array_equal(result.to_host(), np.cumsum(xs, dtype=np.float32))
+
+    def test_inclusive_scan_odd_length(self, device):
+        xs = np.ones(37, dtype=np.float32)
+        result = inclusive_scan(device, device.array(xs))
+        assert np.array_equal(result.to_host(), np.arange(1, 38, dtype=np.float32))
+
+    def test_inclusive_scan_int(self, device):
+        xs = np.arange(50, dtype=np.int32)
+        result = inclusive_scan(device, device.array(xs))
+        assert np.array_equal(result.to_host(), np.cumsum(xs).astype(np.int32))
+
+    def test_exclusive_scan(self, device):
+        xs = np.array([3, 1, 7, 0, 4, 1, 6, 3], dtype=np.int32)
+        result = exclusive_scan(device, device.array(xs))
+        expected = np.concatenate([[0], np.cumsum(xs)[:-1]]).astype(np.int32)
+        assert np.array_equal(result.to_host(), expected)
+
+    def test_scan_single_element(self, device):
+        xs = np.array([42.0], dtype=np.float32)
+        result = inclusive_scan(device, device.array(xs))
+        assert result.to_host()[0] == 42.0
+
+    def test_input_unmodified(self, device):
+        xs = np.arange(16, dtype=np.float32)
+        array = device.array(xs)
+        inclusive_scan(device, array)
+        assert np.array_equal(array.to_host(), xs)
+
+
+class TestTranspose:
+    def test_square(self, device):
+        a = np.arange(16, dtype=np.int32).reshape(4, 4)
+        out = transpose(device, device.array(a.reshape(-1)), 4, 4)
+        assert np.array_equal(out.to_host().reshape(4, 4), a.T)
+
+    def test_rectangular(self, device):
+        a = np.arange(24, dtype=np.int32).reshape(4, 6)
+        out = transpose(device, device.array(a.reshape(-1)), 4, 6)
+        assert np.array_equal(out.to_host().reshape(6, 4), a.T)
+
+    def test_float_matrix(self, device):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((3, 5)).astype(np.float32)
+        out = transpose(device, device.array(a.reshape(-1)), 3, 5)
+        assert np.array_equal(out.to_host().reshape(5, 3), a.T)
+
+    def test_shape_mismatch_rejected(self, device):
+        from repro import GpgpuError
+
+        array = device.array(np.zeros(10, dtype=np.int32))
+        with pytest.raises(GpgpuError):
+            transpose(device, array, 3, 5)
+
+    def test_double_transpose_is_identity(self, device):
+        a = np.arange(12, dtype=np.int32)
+        once = transpose(device, device.array(a), 3, 4)
+        twice = transpose(device, once, 4, 3)
+        assert np.array_equal(twice.to_host(), a)
+
+
+class TestConvolve1d:
+    def test_identity_kernel(self, device):
+        xs = np.arange(20, dtype=np.float32)
+        out = convolve1d(device, device.array(xs), [0.0, 1.0, 0.0])
+        assert np.allclose(out.to_host(), xs)
+
+    def test_box_filter_interior(self, device):
+        xs = np.arange(20, dtype=np.float32)
+        out = convolve1d(device, device.array(xs), [1 / 3, 1 / 3, 1 / 3])
+        # Interior: average of neighbours = the value itself.
+        assert np.allclose(out.to_host()[1:-1], xs[1:-1], atol=1e-5)
+
+    def test_clamped_boundary(self, device):
+        xs = np.array([10.0, 20.0, 30.0], dtype=np.float32)
+        out = convolve1d(device, device.array(xs), [0.5, 0.5, 0.0])
+        # out[0] uses clamped left neighbour (itself).
+        assert out.to_host()[0] == pytest.approx(10.0)
+
+    def test_five_taps(self, device):
+        xs = np.ones(16, dtype=np.float32)
+        taps = [0.1, 0.2, 0.4, 0.2, 0.1]
+        out = convolve1d(device, device.array(xs), taps)
+        assert np.allclose(out.to_host(), 1.0, atol=1e-6)
+
+    def test_even_taps_rejected(self, device):
+        from repro import GpgpuError
+
+        with pytest.raises(GpgpuError):
+            convolve1d(device, device.array(np.ones(4, dtype=np.float32)),
+                       [0.5, 0.5])
+
+
+class TestMinMax:
+    def test_reduce_min(self, device):
+        rng = np.random.default_rng(3)
+        xs = rng.standard_normal(100).astype(np.float32)
+        assert reduce_min(device, device.array(xs)) == xs.min()
+
+    def test_reduce_max(self, device):
+        rng = np.random.default_rng(4)
+        xs = rng.standard_normal(100).astype(np.float32)
+        assert reduce_max(device, device.array(xs)) == xs.max()
+
+    def test_reduce_min_int(self, device):
+        xs = np.array([5, -3, 8, -7, 2], dtype=np.int32)
+        assert reduce_min(device, device.array(xs)) == -7
+
+    def test_odd_length_padding_does_not_corrupt_min(self, device):
+        # Padding uses the left value, not zero: a min over positive
+        # values must not pick up a phantom 0.
+        xs = np.array([5.0, 7.0, 9.0], dtype=np.float32)
+        assert reduce_min(device, device.array(xs)) == 5.0
+
+    def test_argmin(self, device):
+        rng = np.random.default_rng(5)
+        xs = rng.standard_normal(200).astype(np.float32)
+        assert argmin_via_encoding(device, xs) == int(np.argmin(xs))
+
+    def test_argmin_first_element(self, device):
+        xs = np.array([-5.0, 0.0, 3.0], dtype=np.float32)
+        assert argmin_via_encoding(device, xs) == 0
+
+    def test_argmin_last_element(self, device):
+        xs = np.array([5.0, 0.0, -3.0], dtype=np.float32)
+        assert argmin_via_encoding(device, xs) == 2

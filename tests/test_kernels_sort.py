@@ -1,0 +1,72 @@
+"""Bitonic sort tests."""
+
+import numpy as np
+import pytest
+
+from repro import GpgpuError
+from repro.kernels.sort import bitonic_sort, sort_host_array
+
+
+class TestBitonicSort:
+    def test_power_of_two_float(self, device_ieee32):
+        rng = np.random.default_rng(61)
+        values = rng.standard_normal(64).astype(np.float32)
+        sorted_array = bitonic_sort(device_ieee32,
+                                    device_ieee32.array(values))
+        assert np.array_equal(sorted_array.to_host(), np.sort(values))
+
+    def test_int32_within_envelope(self, device_ieee32):
+        rng = np.random.default_rng(62)
+        values = rng.integers(-(2**22), 2**22, 128).astype(np.int32)
+        result = sort_host_array(device_ieee32, values)
+        assert np.array_equal(result, np.sort(values))
+
+    def test_non_power_of_two_padded(self, device_ieee32):
+        rng = np.random.default_rng(63)
+        values = rng.standard_normal(100).astype(np.float32)
+        result = sort_host_array(device_ieee32, values)
+        assert np.array_equal(result, np.sort(values))
+
+    def test_already_sorted(self, device_ieee32):
+        values = np.arange(32, dtype=np.float32)
+        result = sort_host_array(device_ieee32, values)
+        assert np.array_equal(result, values)
+
+    def test_reverse_sorted(self, device_ieee32):
+        values = np.arange(32, dtype=np.float32)[::-1].copy()
+        result = sort_host_array(device_ieee32, values)
+        assert np.array_equal(result, np.sort(values))
+
+    def test_duplicates(self, device_ieee32):
+        values = np.array([3, 1, 3, 1, 2, 2, 3, 1] * 4, dtype=np.int32)
+        result = sort_host_array(device_ieee32, values)
+        assert np.array_equal(result, np.sort(values))
+
+    def test_negative_floats(self, device_ieee32):
+        values = np.array([-1.5, 2.0, -3.25, 0.0, 1.0, -0.5, 4.0, -2.0],
+                          dtype=np.float32)
+        result = sort_host_array(device_ieee32, values)
+        assert np.array_equal(result, np.sort(values))
+
+    def test_single_element(self, device_ieee32):
+        values = np.array([42.0], dtype=np.float32)
+        assert sort_host_array(device_ieee32, values)[0] == 42.0
+
+    def test_non_power_of_two_direct_rejected(self, device_ieee32):
+        array = device_ieee32.array(np.zeros(100, dtype=np.float32))
+        with pytest.raises(GpgpuError, match="power-of-two"):
+            bitonic_sort(device_ieee32, array)
+
+    def test_input_unmodified(self, device_ieee32):
+        values = np.array([4.0, 1.0, 3.0, 2.0], dtype=np.float32)
+        array = device_ieee32.array(values)
+        bitonic_sort(device_ieee32, array)
+        assert np.array_equal(array.to_host(), values)
+
+    def test_pass_count(self, device_ieee32):
+        # n = 16 -> log2(16) = 4 -> 4*5/2 = 10 compare passes + 1 copy.
+        values = np.arange(16, dtype=np.float32)
+        array = device_ieee32.array(values)
+        before = len(device_ieee32.ctx.stats.draws)
+        bitonic_sort(device_ieee32, array)
+        assert len(device_ieee32.ctx.stats.draws) - before == 11

@@ -1,0 +1,299 @@
+"""Unit tests for the §IV numeric transformations (numpy mirrors)."""
+
+import numpy as np
+import pytest
+
+from repro.core.numerics import (
+    BYTE_MAX,
+    DELTA,
+    FLOAT_EXACT_INT_LIMIT,
+    float_bits_to_gpu_word,
+    float_to_texel,
+    get_format,
+    gpu_word_to_float_bits,
+    pack_float,
+    pack_int,
+    pack_schar,
+    pack_uchar,
+    pack_uint,
+    reconstruct_byte,
+    shader_pack_float,
+    shader_pack_int,
+    shader_pack_schar,
+    shader_pack_uchar,
+    shader_pack_uint,
+    shader_unpack_float,
+    shader_unpack_int,
+    shader_unpack_schar,
+    shader_unpack_uchar,
+    shader_unpack_uint,
+    texel_to_float,
+    unpack_float,
+    unpack_int,
+    unpack_schar,
+    unpack_uchar,
+    unpack_uint,
+)
+from repro.core.numerics.formats import ALIASES, FORMATS
+
+
+class TestDelta:
+    def test_delta_value(self):
+        # eq. (3): 1/255 + delta = 1/256
+        assert DELTA == pytest.approx(1 / 256 - 1 / 255)
+        assert 1 / BYTE_MAX + DELTA == pytest.approx(1 / 256)
+
+    def test_eq1_quantisation(self):
+        all_bytes = np.arange(256)
+        floats = texel_to_float(all_bytes)
+        assert floats[0] == 0.0 and floats[-1] == 1.0
+
+    def test_eq2_floor_vs_round(self):
+        values = np.array([0.0, 0.5, 1.0])
+        assert list(float_to_texel(values, "floor")) == [0, 127, 255]
+        assert list(float_to_texel(values, "round")) == [0, 128, 255]
+
+    def test_eq2_clamps(self):
+        assert float_to_texel(np.array([-2.0]))[0] == 0
+        assert float_to_texel(np.array([7.5]))[0] == 255
+
+    def test_eq2_unknown_mode(self):
+        with pytest.raises(ValueError):
+            float_to_texel(np.array([0.5]), "truncate")
+
+    def test_reconstruct_all_bytes_bijective(self):
+        """The M mapping of §IV-A is a bijection over all 256 values."""
+        all_bytes = np.arange(256)
+        recovered = reconstruct_byte(texel_to_float(all_bytes))
+        assert np.array_equal(recovered, all_bytes)
+
+    def test_reconstruct_robust_to_fp32_texel(self):
+        # Even when the [0,1] float passes through fp32, bytes survive.
+        all_bytes = np.arange(256)
+        as32 = texel_to_float(all_bytes).astype(np.float32).astype(np.float64)
+        assert np.array_equal(reconstruct_byte(as32), all_bytes)
+
+
+class TestUcharSchar:
+    def test_uchar_host_roundtrip(self):
+        values = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(unpack_uchar(pack_uchar(values)), values)
+
+    def test_uchar_texel_layout(self):
+        texels = pack_uchar(np.array([7], dtype=np.uint8))
+        assert texels.shape == (1, 4)
+        assert texels[0, 0] == 7 and texels[0, 3] == 255
+
+    def test_uchar_shader_roundtrip_all_values(self):
+        values = np.arange(256, dtype=np.uint8)
+        unpacked = shader_unpack_uchar(texel_to_float(values))
+        assert np.array_equal(unpacked, values)
+        repacked = float_to_texel(shader_pack_uchar(unpacked))
+        assert np.array_equal(repacked, values)
+
+    def test_uchar_shader_roundtrip_floor_mode(self):
+        # Under the paper's floor quantisation the emitted v/255 floats
+        # still decode exactly (they are exact byte multiples).
+        values = np.arange(256, dtype=np.uint8)
+        repacked = float_to_texel(shader_pack_uchar(values), "round")
+        assert np.array_equal(repacked, values)
+
+    def test_schar_host_roundtrip(self):
+        values = np.arange(-128, 128, dtype=np.int8)
+        assert np.array_equal(unpack_schar(pack_schar(values)), values)
+
+    def test_schar_shader_m2_mapping(self):
+        values = np.arange(-128, 128, dtype=np.int8)
+        texels = texel_to_float(pack_schar(values)[:, 0])
+        unpacked = shader_unpack_schar(texels)
+        assert np.array_equal(unpacked, values.astype(np.float64))
+
+    def test_schar_shader_pack_all_values(self):
+        values = np.arange(-128, 128, dtype=np.float64)
+        bytes_ = float_to_texel(shader_pack_schar(values))
+        recovered = unpack_schar(pack_uchar(bytes_.astype(np.uint8)))
+        assert np.array_equal(recovered, values.astype(np.int8))
+
+
+class TestIntegers:
+    def test_uint_host_layout_little_endian(self):
+        texels = pack_uint(np.array([0x04030201], dtype=np.uint32))
+        assert list(texels[0]) == [1, 2, 3, 4]
+
+    def test_uint_host_roundtrip(self):
+        values = np.array([0, 1, 255, 65535, 2**24 - 1, 2**32 - 1], dtype=np.uint32)
+        assert np.array_equal(unpack_uint(pack_uint(values)), values)
+
+    def test_int_host_twos_complement_unmodified(self):
+        # The paper's interoperability claim: bytes are the CPU's own.
+        values = np.array([-1, -2, 5], dtype=np.int32)
+        expected = values.view(np.uint32).view(np.uint8).reshape(-1, 4)
+        assert np.array_equal(pack_int(values), expected)
+
+    def test_int_host_roundtrip(self):
+        values = np.array([-(2**31), -1, 0, 1, 2**31 - 1], dtype=np.int32)
+        assert np.array_equal(unpack_int(pack_int(values)), values)
+
+    def test_uint_shader_eq6(self):
+        values = np.array([0, 1, 256, 65536, 2**24 - 1], dtype=np.uint32)
+        floats = texel_to_float(pack_uint(values))
+        unpacked = shader_unpack_uint(floats)
+        assert np.array_equal(unpacked, values.astype(np.float64))
+
+    def test_uint_shader_pack_eq7_corrected(self):
+        values = np.array([0, 1, 255, 256, 65537, 2**24 - 1], dtype=np.float64)
+        outputs = shader_pack_uint(values)
+        bytes_ = float_to_texel(outputs.reshape(-1)).reshape(-1, 4)
+        recovered = unpack_uint(bytes_)
+        assert np.array_equal(recovered, values.astype(np.uint32))
+
+    def test_int_shader_roundtrip_within_24bit_envelope(self):
+        values = np.array(
+            [0, 1, -1, 100, -100, 2**23 - 1, -(2**23)], dtype=np.float64
+        )
+        outputs = shader_pack_int(values)
+        bytes_ = float_to_texel(outputs.reshape(-1)).reshape(-1, 4)
+        floats = texel_to_float(bytes_)
+        assert np.array_equal(shader_unpack_int(floats), values)
+
+    def test_int_shader_unpack_full_range_in_float64(self):
+        # The 'exact' device model reconstructs the full int32 range.
+        values = np.array([-(2**31), 2**31 - 1, -123456789], dtype=np.int32)
+        floats = texel_to_float(pack_int(values))
+        assert np.array_equal(shader_unpack_int(floats), values.astype(np.float64))
+
+    def test_24bit_limit_constant(self):
+        assert FLOAT_EXACT_INT_LIMIT == 2**24
+
+
+class TestFloat:
+    def test_fig2_bit_rotation(self):
+        # 1.0f = 0x3F800000; GPU layout: exponent (0x7F) in byte 3,
+        # sign 0 in byte 2 MSB.
+        bits = np.array([0x3F800000], dtype=np.uint32)
+        gpu = float_bits_to_gpu_word(bits)
+        assert gpu[0] == 0x7F000000
+
+    def test_fig2_negative(self):
+        bits = np.array([0xBF800000], dtype=np.uint32)  # -1.0f
+        gpu = float_bits_to_gpu_word(bits)
+        assert gpu[0] == 0x7F800000  # exp 0x7F, sign bit set in byte 2
+
+    def test_bit_rotation_inverse(self):
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2**32, 10000, dtype=np.uint64).astype(np.uint32)
+        assert np.array_equal(gpu_word_to_float_bits(float_bits_to_gpu_word(bits)), bits)
+
+    def test_host_roundtrip_random(self):
+        rng = np.random.default_rng(6)
+        values = (rng.standard_normal(10000) * 1e6).astype(np.float32)
+        assert np.array_equal(unpack_float(pack_float(values)), values)
+
+    def test_host_roundtrip_specials(self):
+        values = np.array(
+            [0.0, -0.0, np.inf, -np.inf, 1e-38, -1e-38, 3.4e38], dtype=np.float32
+        )
+        result = unpack_float(pack_float(values))
+        assert np.array_equal(
+            result.view(np.uint32), values.view(np.uint32)
+        )
+
+    def test_host_roundtrip_nan_payload(self):
+        nan = np.array([np.nan], dtype=np.float32)
+        result = unpack_float(pack_float(nan))
+        assert np.isnan(result[0])
+
+    def test_shader_unpack_exact(self):
+        values = np.array([1.0, -1.0, 0.5, 3.14159274, 1e10, -1e-10], dtype=np.float32)
+        floats = texel_to_float(pack_float(values))
+        unpacked = shader_unpack_float(floats)
+        assert np.array_equal(unpacked.astype(np.float32), values)
+
+    def test_shader_unpack_zero(self):
+        floats = texel_to_float(pack_float(np.array([0.0], dtype=np.float32)))
+        assert shader_unpack_float(floats)[0] == 0.0
+
+    def test_shader_unpack_specials(self):
+        values = np.array([np.inf, -np.inf, np.nan], dtype=np.float32)
+        floats = texel_to_float(pack_float(values))
+        unpacked = shader_unpack_float(floats, preserve_special=True)
+        assert unpacked[0] == np.inf and unpacked[1] == -np.inf
+        assert np.isnan(unpacked[2])
+
+    def test_shader_unpack_subnormal_flushes_to_zero(self):
+        values = np.array([1e-45], dtype=np.float32)  # subnormal
+        floats = texel_to_float(pack_float(values))
+        assert shader_unpack_float(floats)[0] == 0.0
+
+    def test_shader_pack_roundtrip_cpu_precise(self):
+        """The paper: 'the same transformations on the CPU are
+        precise' — in float64 the decompose/reconstruct chain is
+        bit-exact for normal floats."""
+        rng = np.random.default_rng(7)
+        values = (rng.standard_normal(20000) * 10.0 ** rng.integers(-30, 30, 20000)
+                  ).astype(np.float32)
+        values = values[np.isfinite(values) & (values != 0)]
+        outputs = shader_pack_float(values.astype(np.float64))
+        bytes_ = float_to_texel(outputs.reshape(-1)).reshape(-1, 4)
+        recovered = unpack_float(bytes_)
+        assert np.array_equal(recovered, values)
+
+    def test_shader_pack_zero(self):
+        outputs = shader_pack_float(np.array([0.0]))
+        assert np.all(outputs == 0.0)
+
+    def test_shader_pack_specials(self):
+        outputs = shader_pack_float(np.array([np.inf, np.nan]))
+        bytes_ = float_to_texel(outputs.reshape(-1)).reshape(-1, 4)
+        recovered = unpack_float(bytes_)
+        assert recovered[0] == np.inf
+        assert np.isnan(recovered[1])
+
+
+class TestFormatsRegistry:
+    def test_all_formats_present(self):
+        assert set(FORMATS) == {
+            "uint8", "int8", "uint16", "int16", "uint32", "int32",
+            "float16", "float32",
+        }
+
+    def test_aliases(self):
+        assert get_format("float").name == "float32"
+        assert get_format("uchar").name == "uint8"
+        assert get_format("unsigned int").name == "uint32"
+
+    def test_passthrough(self):
+        fmt = get_format("int32")
+        assert get_format(fmt) is fmt
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError, match="unknown numeric format"):
+            get_format("float64")
+
+    @pytest.mark.parametrize("name", list(FORMATS))
+    def test_host_roundtrip_via_registry(self, name):
+        fmt = FORMATS[name]
+        rng = np.random.default_rng(8)
+        if fmt.dtype.kind == "f":
+            values = rng.standard_normal(100).astype(fmt.dtype)
+        else:
+            info = np.iinfo(fmt.dtype)
+            values = rng.integers(info.min, info.max, 100).astype(fmt.dtype)
+        assert np.array_equal(fmt.host_unpack(fmt.host_pack(values)), values)
+
+    @pytest.mark.parametrize("name", list(FORMATS))
+    def test_shader_mirror_roundtrip_via_registry(self, name):
+        fmt = FORMATS[name]
+        rng = np.random.default_rng(9)
+        if fmt.dtype.kind == "f":
+            values = rng.standard_normal(100).astype(fmt.dtype)
+        elif fmt.limited_to_24_bits:
+            values = rng.integers(-(2**23), 2**23, 100).astype(fmt.dtype)
+        else:
+            info = np.iinfo(fmt.dtype)
+            values = rng.integers(info.min, info.max, 100).astype(fmt.dtype)
+        texels = texel_to_float(fmt.host_pack(values))
+        unpacked = fmt.shader_unpack(texels)
+        outputs = fmt.shader_pack(unpacked)
+        bytes_ = float_to_texel(outputs.reshape(-1)).reshape(-1, 4)
+        assert np.array_equal(fmt.host_unpack(bytes_.astype(np.uint8)), values)

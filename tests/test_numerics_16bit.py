@@ -1,0 +1,169 @@
+"""Unit tests for the 16-bit extension formats (uint16/int16/float16).
+
+These extend the paper's §IV set: natural-layout 16-bit integers (the
+interoperability answer to Strzodka's custom format, §VI) and the fp16
+path of the vendor half-float extensions (§II-B), implemented so its
+insufficiency can be measured (benchmark E7).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.numerics import (
+    FP16_MANTISSA_BITS,
+    FP16_MAX,
+    float_to_texel,
+    get_format,
+    pack_half,
+    pack_int16,
+    pack_uint16,
+    shader_pack_half,
+    shader_pack_int16,
+    shader_pack_uint16,
+    shader_unpack_half,
+    shader_unpack_int16,
+    shader_unpack_uint16,
+    texel_to_float,
+    unpack_half,
+    unpack_int16,
+    unpack_uint16,
+)
+
+
+class TestHostLayouts:
+    def test_uint16_little_endian(self):
+        texels = pack_uint16(np.array([0x0201], dtype=np.uint16))
+        assert list(texels[0][:2]) == [1, 2]
+
+    def test_uint16_roundtrip_full_range(self):
+        values = np.arange(0, 2**16, dtype=np.uint16)
+        assert np.array_equal(unpack_uint16(pack_uint16(values)), values)
+
+    def test_int16_roundtrip_full_range(self):
+        values = np.arange(-(2**15), 2**15, dtype=np.int16)
+        assert np.array_equal(unpack_int16(pack_int16(values)), values)
+
+    def test_int16_twos_complement_unmodified(self):
+        texels = pack_int16(np.array([-1], dtype=np.int16))
+        assert list(texels[0][:2]) == [255, 255]
+
+    def test_half_roundtrip_all_bit_patterns(self):
+        """Every possible fp16 bit pattern survives the host layout."""
+        bits = np.arange(0, 2**16, dtype=np.uint16)
+        values = bits.view(np.float16)
+        recovered = unpack_half(pack_half(values))
+        assert np.array_equal(recovered.view(np.uint16), bits)
+
+
+class TestShaderMirrors16:
+    def test_uint16_roundtrip(self):
+        values = np.arange(0, 2**16, 7, dtype=np.uint16)
+        texels = texel_to_float(pack_uint16(values))
+        unpacked = shader_unpack_uint16(texels)
+        assert np.array_equal(unpacked, values.astype(np.float64))
+        bytes_ = float_to_texel(shader_pack_uint16(unpacked).reshape(-1)).reshape(-1, 4)
+        assert np.array_equal(unpack_uint16(bytes_), values)
+
+    def test_int16_roundtrip(self):
+        values = np.arange(-(2**15), 2**15, 13, dtype=np.int16)
+        texels = texel_to_float(pack_int16(values))
+        unpacked = shader_unpack_int16(texels)
+        assert np.array_equal(unpacked, values.astype(np.float64))
+        bytes_ = float_to_texel(shader_pack_int16(unpacked).reshape(-1)).reshape(-1, 4)
+        assert np.array_equal(unpack_int16(bytes_), values)
+
+    def test_half_unpack_exact_for_all_finite(self):
+        bits = np.arange(0, 2**16, dtype=np.uint16)
+        values = bits.view(np.float16)
+        finite = np.isfinite(values)
+        texels = texel_to_float(pack_half(values[finite]))
+        unpacked = shader_unpack_half(texels)
+        assert np.array_equal(
+            unpacked.astype(np.float16), values[finite]
+        )
+
+    def test_half_unpack_specials(self):
+        values = np.array([np.inf, -np.inf, np.nan], dtype=np.float16)
+        texels = texel_to_float(pack_half(values))
+        unpacked = shader_unpack_half(texels)
+        assert unpacked[0] == np.inf and unpacked[1] == -np.inf
+        assert np.isnan(unpacked[2])
+
+    def test_half_subnormals_preserved(self):
+        # Smallest positive subnormal: 2^-24.
+        values = np.array([2.0**-24, 2.0**-20, -(2.0**-24)], dtype=np.float16)
+        texels = texel_to_float(pack_half(values))
+        unpacked = shader_unpack_half(texels)
+        assert np.array_equal(unpacked.astype(np.float16), values)
+
+    def test_half_pack_roundtrip_all_finite(self):
+        bits = np.arange(0, 2**16, dtype=np.uint16)
+        values = bits.view(np.float16)
+        keep = np.isfinite(values) & (values != 0)
+        unpacked = values[keep].astype(np.float64)
+        outputs = shader_pack_half(unpacked)
+        bytes_ = float_to_texel(outputs.reshape(-1)).reshape(-1, 4)
+        recovered = unpack_half(bytes_)
+        assert np.array_equal(
+            recovered.view(np.uint16), values[keep].view(np.uint16)
+        )
+
+    def test_half_pack_overflow_to_inf(self):
+        outputs = shader_pack_half(np.array([1e6, -1e6]))
+        bytes_ = float_to_texel(outputs.reshape(-1)).reshape(-1, 4)
+        recovered = unpack_half(bytes_)
+        assert recovered[0] == np.inf and recovered[1] == -np.inf
+
+    def test_half_pack_rounds_to_10_bits(self):
+        value = np.array([1.0 + 2.0**-12])  # below fp16 resolution
+        outputs = shader_pack_half(value)
+        bytes_ = float_to_texel(outputs.reshape(-1)).reshape(-1, 4)
+        assert unpack_half(bytes_)[0] == np.float16(1.0)
+
+
+class TestRegistry16:
+    @pytest.mark.parametrize("name", ["uint16", "int16", "float16"])
+    def test_registered(self, name):
+        fmt = get_format(name)
+        assert fmt.name == name
+
+    def test_aliases(self):
+        assert get_format("ushort").name == "uint16"
+        assert get_format("short").name == "int16"
+        assert get_format("half").name == "float16"
+
+    def test_constants(self):
+        assert FP16_MANTISSA_BITS == 10
+        assert FP16_MAX == 65504.0
+
+
+class TestGpuPath16:
+    @pytest.mark.parametrize("name,dtype", [
+        ("uint16", np.uint16), ("int16", np.int16),
+    ])
+    def test_integer_kernel_roundtrip(self, device, name, dtype):
+        rng = np.random.default_rng(3)
+        info = np.iinfo(dtype)
+        values = rng.integers(info.min, info.max + 1, 300).astype(dtype)
+        kernel = device.kernel(f"id16_{name}", [("a", name)], name, "result = a;")
+        out = device.empty(300, name)
+        kernel(out, {"a": device.array(values)})
+        assert np.array_equal(out.to_host(), values)
+
+    def test_int16_arithmetic_kernel(self, device):
+        a = np.array([-30000, -1, 0, 1, 30000], dtype=np.int16)
+        b = np.array([100, 100, 100, 100, -100], dtype=np.int16)
+        kernel = device.kernel(
+            "add16", [("a", "int16"), ("b", "int16")], "int16",
+            "result = a + b;",
+        )
+        out = device.empty(5, "int16")
+        kernel(out, {"a": device.array(a), "b": device.array(b)})
+        assert np.array_equal(out.to_host(), a + b)
+
+    def test_float16_kernel_roundtrip(self, device):
+        values = np.array([0.0, 1.0, -2.5, 0.125, 100.0], dtype=np.float16)
+        kernel = device.kernel("idh", [("a", "float16")], "float16", "result = a;")
+        out = device.empty(5, "float16")
+        kernel(out, {"a": device.array(values)})
+        assert np.array_equal(out.to_host(), values)

@@ -1,0 +1,91 @@
+"""Roofline analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro import GpgpuDevice
+from repro.kernels import make_sgemm_kernel, make_sum_kernel
+from repro.perf.counters import DrawStats
+from repro.perf.machines import VIDEOCORE_IV_GPU
+from repro.perf.roofline import (
+    analyze_context,
+    analyze_draw,
+    format_roofline,
+    ridge_intensity,
+)
+
+
+class TestRidge:
+    def test_ridge_value(self):
+        # 24e9 ALU / 1.5e9 fetches = 16 ops per fetch.
+        assert ridge_intensity() == pytest.approx(16.0)
+
+
+class TestAnalyzeDraw:
+    def make_draw(self, alu, tex):
+        draw = DrawStats()
+        draw.fragment_ops.add("alu", alu)
+        draw.fragment_ops.add("tex", tex)
+        return draw
+
+    def test_fetch_bound_kernel(self):
+        point = analyze_draw(self.make_draw(alu=1000, tex=1000))
+        assert point.bound_by == "fetch"
+        assert point.intensity == 1.0
+        assert point.attainable_gflops == pytest.approx(1.5)
+
+    def test_compute_bound_kernel(self):
+        point = analyze_draw(self.make_draw(alu=100000, tex=100))
+        assert point.bound_by == "compute"
+        assert point.attainable_gflops == pytest.approx(24.0)
+
+    def test_fetch_free_kernel(self):
+        point = analyze_draw(self.make_draw(alu=5000, tex=0))
+        assert point.intensity == float("inf")
+        assert point.bound_by == "compute"
+
+    def test_ridge_exactly(self):
+        point = analyze_draw(self.make_draw(alu=16000, tex=1000))
+        assert point.attainable_gflops == pytest.approx(24.0)
+        assert point.bound_by == "compute"
+
+
+class TestRealKernels:
+    def test_sum_kernel_placement(self, device_ieee32):
+        device = device_ieee32
+        kernel = make_sum_kernel(device, "int32")
+        a = device.array(np.zeros(4096, dtype=np.int32))
+        b = device.array(np.zeros(4096, dtype=np.int32))
+        out = device.empty(4096, "int32")
+        kernel(out, {"a": a, "b": b})
+        points = analyze_context(device.ctx.stats)
+        point = points[0]
+        # ~89 ALU ops over 2 fetches per element: deep in compute-bound
+        # territory — the packing burden moves kernels up the roofline.
+        assert point.intensity > ridge_intensity()
+        assert point.bound_by == "compute"
+
+    def test_sgemm_kernel_placement(self, device_ieee32):
+        device = device_ieee32
+        n = 8
+        kernel = make_sgemm_kernel(device, "int32", n)
+        zero = np.zeros(n * n, dtype=np.int32)
+        out = device.empty(n * n, "int32")
+        kernel(out, {
+            "a": device.array(zero), "b": device.array(zero),
+            "c0": device.array(zero),
+        }, {"u_n": float(n), "u_alpha": 1.0, "u_beta": 0.0})
+        point = analyze_context(device.ctx.stats)[-1]
+        assert point.tex_fetches > 0
+        assert point.bound_by == "compute"
+
+    def test_format_roofline_output(self, device_ieee32):
+        device = device_ieee32
+        kernel = make_sum_kernel(device, "int32")
+        a = device.array(np.zeros(64, dtype=np.int32))
+        b = device.array(np.zeros(64, dtype=np.int32))
+        out = device.empty(64, "int32")
+        kernel(out, {"a": a, "b": b})
+        text = format_roofline(analyze_context(device.ctx.stats))
+        assert "ridge point" in text
+        assert "draw0" in text

@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The §IV transformations are the paper's contribution; their key
+properties — bijectivity of the byte mappings, losslessness of the
+host layouts, CPU-exactness of the shader mirrors — are tested here
+over adversarial inputs rather than fixed examples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.numerics import (
+    float_bits_to_gpu_word,
+    float_to_texel,
+    gpu_word_to_float_bits,
+    pack_float,
+    pack_int,
+    pack_schar,
+    pack_uchar,
+    pack_uint,
+    reconstruct_byte,
+    shader_pack_float,
+    shader_pack_int,
+    shader_pack_schar,
+    shader_pack_uchar,
+    shader_pack_uint,
+    shader_unpack_float,
+    shader_unpack_int,
+    shader_unpack_schar,
+    shader_unpack_uchar,
+    shader_unpack_uint,
+    texel_to_float,
+    unpack_float,
+    unpack_int,
+    unpack_schar,
+    unpack_uchar,
+    unpack_uint,
+)
+from repro.core.api.buffer import texture_shape
+from repro.gles2.precision import mantissa_agreement_bits, truncate_mantissa
+
+settings.register_profile("repro", max_examples=50, deadline=None)
+settings.load_profile("repro")
+
+uint8_arrays = st.lists(
+    st.integers(0, 255), min_size=1, max_size=64
+).map(lambda xs: np.array(xs, dtype=np.uint8))
+int8_arrays = st.lists(
+    st.integers(-128, 127), min_size=1, max_size=64
+).map(lambda xs: np.array(xs, dtype=np.int8))
+uint32_arrays = st.lists(
+    st.integers(0, 2**32 - 1), min_size=1, max_size=64
+).map(lambda xs: np.array(xs, dtype=np.uint32))
+int32_arrays = st.lists(
+    st.integers(-(2**31), 2**31 - 1), min_size=1, max_size=64
+).map(lambda xs: np.array(xs, dtype=np.int32))
+int24_arrays = st.lists(
+    st.integers(-(2**23), 2**23 - 1), min_size=1, max_size=64
+).map(lambda xs: np.array(xs, dtype=np.int32))
+uint24_arrays = st.lists(
+    st.integers(0, 2**24 - 1), min_size=1, max_size=64
+).map(lambda xs: np.array(xs, dtype=np.uint32))
+float32_arrays = st.lists(
+    st.floats(width=32, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=64,
+).map(lambda xs: np.array(xs, dtype=np.float32))
+
+
+class TestHostLayouts:
+    """Host pack/unpack are exact inverses over the full value range."""
+
+    @given(uint8_arrays)
+    def test_uchar(self, values):
+        assert np.array_equal(unpack_uchar(pack_uchar(values)), values)
+
+    @given(int8_arrays)
+    def test_schar(self, values):
+        assert np.array_equal(unpack_schar(pack_schar(values)), values)
+
+    @given(uint32_arrays)
+    def test_uint(self, values):
+        assert np.array_equal(unpack_uint(pack_uint(values)), values)
+
+    @given(int32_arrays)
+    def test_int(self, values):
+        assert np.array_equal(unpack_int(pack_int(values)), values)
+
+    @given(float32_arrays)
+    def test_float(self, values):
+        result = unpack_float(pack_float(values))
+        assert np.array_equal(
+            result.view(np.uint32), values.view(np.uint32)
+        )
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_fig2_rotation_bijective(self, bits):
+        word = np.array([bits], dtype=np.uint32)
+        assert gpu_word_to_float_bits(float_bits_to_gpu_word(word))[0] == bits
+
+
+class TestShaderMirrors:
+    """Shader-side transformations round-trip through eq. (1)/(2)."""
+
+    @given(uint8_arrays)
+    def test_uchar_bijection(self, values):
+        unpacked = shader_unpack_uchar(texel_to_float(values))
+        assert np.array_equal(unpacked, values.astype(np.float64))
+        bytes_ = float_to_texel(shader_pack_uchar(unpacked))
+        assert np.array_equal(bytes_, values)
+
+    @given(int8_arrays)
+    def test_schar_bijection(self, values):
+        texels = texel_to_float(values.view(np.uint8))
+        unpacked = shader_unpack_schar(texels)
+        assert np.array_equal(unpacked, values.astype(np.float64))
+        bytes_ = float_to_texel(shader_pack_schar(unpacked))
+        assert np.array_equal(bytes_.view(np.int8), values)
+
+    @given(uint24_arrays)
+    def test_uint_roundtrip(self, values):
+        texels = texel_to_float(pack_uint(values))
+        unpacked = shader_unpack_uint(texels)
+        assert np.array_equal(unpacked, values.astype(np.float64))
+        outputs = shader_pack_uint(unpacked)
+        bytes_ = float_to_texel(outputs.reshape(-1)).reshape(-1, 4)
+        assert np.array_equal(unpack_uint(bytes_), values)
+
+    @given(int24_arrays)
+    def test_int_roundtrip_24bit_envelope(self, values):
+        texels = texel_to_float(pack_int(values))
+        unpacked = shader_unpack_int(texels)
+        assert np.array_equal(unpacked, values.astype(np.float64))
+        outputs = shader_pack_int(unpacked)
+        bytes_ = float_to_texel(outputs.reshape(-1)).reshape(-1, 4)
+        assert np.array_equal(unpack_int(bytes_), values)
+
+    @given(float32_arrays)
+    def test_float_unpack_exact(self, values):
+        texels = texel_to_float(pack_float(values))
+        unpacked = shader_unpack_float(texels).astype(np.float32)
+        finite_normal = np.abs(values) >= np.float32(2**-126)
+        zero = values == 0
+        assert np.array_equal(unpacked[zero], values[zero])
+        assert np.array_equal(unpacked[finite_normal], values[finite_normal])
+
+    @given(float32_arrays)
+    def test_float_full_roundtrip_cpu_precise(self, values):
+        # Normal (non-subnormal) floats round-trip bit-exactly.
+        normal = (np.abs(values) >= np.float32(2**-126)) | (values == 0)
+        values = values[normal]
+        texels = texel_to_float(pack_float(values))
+        unpacked = shader_unpack_float(texels)
+        outputs = shader_pack_float(unpacked)
+        bytes_ = float_to_texel(outputs.reshape(-1)).reshape(-1, 4)
+        recovered = unpack_float(bytes_)
+        # -0.0 packs as +0.0 (GLSL cannot see the sign of zero).
+        assert np.array_equal(np.abs(recovered[values == 0]), np.array(
+            [0.0] * int((values == 0).sum()), dtype=np.float32))
+        nonzero = values != 0
+        assert np.array_equal(recovered[nonzero], values[nonzero])
+
+
+class TestQuantisationProperties:
+    @given(st.integers(0, 255))
+    def test_byte_reconstruction_is_identity(self, byte):
+        assert reconstruct_byte(texel_to_float(np.array([byte])))[0] == byte
+
+    @given(st.floats(0, 1))
+    def test_quantise_in_range(self, value):
+        for mode in ("round", "floor"):
+            b = float_to_texel(np.array([value]), mode)[0]
+            assert 0 <= b <= 255
+
+    @given(st.floats(allow_nan=False))
+    def test_quantise_clamps(self, value):
+        b = float_to_texel(np.array([value]))[0]
+        assert 0 <= b <= 255
+
+
+class TestTextureShapeProperties:
+    @given(st.integers(1, 2048 * 2048))
+    def test_shape_holds_all_elements(self, length):
+        width, height = texture_shape(length, 2048)
+        assert width * height >= length
+        assert width <= 2048 and height <= 2048
+        assert width & (width - 1) == 0
+
+    @given(st.integers(1, 10000))
+    def test_shape_not_wasteful(self, length):
+        width, height = texture_shape(length, 2048)
+        # Never more than one spare row.
+        assert width * (height - 1) < length
+
+
+class TestPrecisionModelProperties:
+    @given(
+        st.floats(
+            width=32, allow_nan=False, allow_infinity=False,
+            min_value=2.0**-100, max_value=2.0**100,
+        ),
+        st.integers(1, 23),
+    )
+    def test_truncation_error_bounded(self, value, bits):
+        original = np.array([value], dtype=np.float32)
+        truncated = truncate_mantissa(original, bits)
+        rel = abs(float(truncated[0]) - value) / value
+        assert rel <= 2.0 ** -bits
+
+    @given(st.floats(width=32, min_value=2.0**-10, max_value=2.0**20))
+    def test_agreement_reflexive(self, value):
+        ref = np.array([value])
+        assert mantissa_agreement_bits(ref, ref)[0] == 23.0

@@ -1,0 +1,140 @@
+"""Tests for vertex-stage kernels (§III-1)."""
+
+import numpy as np
+import pytest
+
+from repro import GpgpuError
+
+
+class TestVertexKernelCorrectness:
+    @pytest.mark.parametrize("fmt,dtype,lo,hi", [
+        ("int32", np.int32, -(2**22), 2**22),
+        ("uint32", np.uint32, 0, 2**23),
+        ("int16", np.int16, -(2**15), 2**15 - 1),
+        ("uint8", np.uint8, 0, 200),
+    ])
+    def test_sum_matches_fragment_path(self, device, fmt, dtype, lo, hi):
+        rng = np.random.default_rng(41)
+        a = rng.integers(lo, hi // 2, 300).astype(dtype)
+        b = rng.integers(0, hi // 2, 300).astype(dtype)
+        vertex = device.vertex_kernel(
+            f"v_{fmt}", [("a", fmt), ("b", fmt)], fmt, "result = a + b;"
+        )
+        fragment = device.kernel(
+            f"f_{fmt}", [("a", fmt), ("b", fmt)], fmt, "result = a + b;"
+        )
+        v_out = device.empty(300, fmt)
+        vertex(v_out, {"a": a, "b": b})
+        v_result = v_out.to_host()
+        f_out = device.empty(300, fmt)
+        fragment(f_out, {"a": device.array(a), "b": device.array(b)})
+        assert np.array_equal(v_result, f_out.to_host())
+        assert np.array_equal(v_result, a + b)
+
+    def test_float32_kernel(self, device_ieee32):
+        rng = np.random.default_rng(42)
+        x = (rng.standard_normal(128) * 10).astype(np.float32)
+        kernel = device_ieee32.vertex_kernel(
+            "vscale", [("x", "float32")], "float32",
+            "result = x * u_k;", uniforms=[("u_k", "float")],
+        )
+        out = device_ieee32.empty(128, "float32")
+        kernel(out, {"x": x}, {"u_k": 2.0})
+        assert np.array_equal(out.to_host(), x * np.float32(2.0))
+
+    def test_each_element_shaded_once(self, device):
+        kernel = device.vertex_kernel(
+            "vid", [("a", "int32")], "int32", "result = a;"
+        )
+        values = np.arange(97, dtype=np.int32)  # odd size, padded texture
+        out = device.empty(97, "int32")
+        kernel(out, {"a": values})
+        assert np.array_equal(out.to_host(), values)
+        draw = device.ctx.stats.draws[-1]
+        assert draw.vertex_invocations == 97
+        assert draw.fragment_invocations == 97
+
+    def test_output_is_fb_resident(self, device):
+        kernel = device.vertex_kernel(
+            "vres", [("a", "int32")], "int32", "result = a;"
+        )
+        out = device.empty(8, "int32")
+        kernel(out, {"a": np.zeros(8, dtype=np.int32)})
+        assert device.fb_resident is out
+
+
+class TestVertexKernelValidation:
+    def test_missing_input(self, device):
+        kernel = device.vertex_kernel(
+            "vmiss", [("a", "int32")], "int32", "result = a;"
+        )
+        out = device.empty(4, "int32")
+        with pytest.raises(GpgpuError, match="expects inputs"):
+            kernel(out, {})
+
+    def test_length_mismatch(self, device):
+        kernel = device.vertex_kernel(
+            "vlen", [("a", "int32")], "int32", "result = a;"
+        )
+        out = device.empty(4, "int32")
+        with pytest.raises(GpgpuError, match="elements"):
+            kernel(out, {"a": np.zeros(3, dtype=np.int32)})
+
+    def test_output_format_mismatch(self, device):
+        kernel = device.vertex_kernel(
+            "vfmt", [("a", "int32")], "int32", "result = a;"
+        )
+        out = device.empty(4, "float32")
+        with pytest.raises(GpgpuError, match="writes int32"):
+            kernel(out, {"a": np.zeros(4, dtype=np.int32)})
+
+    def test_unknown_uniform(self, device):
+        kernel = device.vertex_kernel(
+            "vuni", [("a", "int32")], "int32", "result = a;"
+        )
+        out = device.empty(4, "int32")
+        with pytest.raises(GpgpuError, match="unknown uniforms"):
+            kernel(out, {"a": np.zeros(4, dtype=np.int32)}, {"u_x": 1.0})
+
+
+class TestVertexStagePlatformRestrictions:
+    def test_no_vertex_texture_units(self, device):
+        """The reason vertex kernels cannot gather: the device
+        advertises zero vertex texture image units."""
+        from repro.gles2 import enums as gl
+
+        assert device.ctx.glGetIntegerv(
+            gl.GL_MAX_VERTEX_TEXTURE_IMAGE_UNITS
+        ) == 0
+
+    def test_texture_fetch_in_vertex_shader_rejected(self, device):
+        """A vertex kernel body cannot call fetch helpers — there are
+        no samplers in the generated vertex shader at all."""
+        from repro import ShaderBuildError
+
+        with pytest.raises(ShaderBuildError):
+            device.vertex_kernel(
+                "vtex", [("a", "int32")], "int32",
+                "result = fetch_a(0.0);",
+            )
+
+    def test_ops_counted_in_vertex_stage(self, device):
+        kernel = device.vertex_kernel(
+            "vops", [("a", "int32")], "int32", "result = a + 1.0;"
+        )
+        out = device.empty(64, "int32")
+        kernel(out, {"a": np.zeros(64, dtype=np.int32)})
+        draw = device.ctx.stats.draws[-1]
+        assert draw.vertex_ops.alu > draw.fragment_ops.alu
+        assert draw.vertex_ops.tex == 0
+
+    def test_attribute_upload_counted_as_buffer_bytes(self, device):
+        kernel = device.vertex_kernel(
+            "vbytes", [("a", "int32")], "int32", "result = a;"
+        )
+        out = device.empty(100, "int32")
+        before = device.ctx.stats.buffer_upload_bytes
+        kernel(out, {"a": np.zeros(100, dtype=np.int32)})
+        uploaded = device.ctx.stats.buffer_upload_bytes - before
+        # index floats (4B) + packed bytes (4B) per element.
+        assert uploaded == 100 * 8
