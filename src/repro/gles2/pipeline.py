@@ -37,6 +37,48 @@ _ATTRIB_DTYPES = {
 }
 
 
+# ----------------------------------------------------------------------
+# Deterministic capture hook (differential conformance harness)
+# ----------------------------------------------------------------------
+@dataclass
+class FragmentCapture:
+    """Snapshot of the per-fragment state of one draw call, taken just
+    before the framebuffer write.  Consumed by ``repro.testing`` to
+    replay the exact same fragments through independent interpreters."""
+
+    #: The fragment shader as compiled (CheckedShader).
+    fragment_shader: object
+    #: Global presets handed to the fragment interpreter (uniforms,
+    #: interpolated varyings, gl_FragCoord, ...), batched per fragment.
+    fs_presets: Dict[str, Value]
+    #: Framebuffer coordinates of every rasterised fragment.
+    px: np.ndarray
+    py: np.ndarray
+    #: Per-fragment discard mask (True = killed by ``discard``).
+    discarded: np.ndarray
+    #: Pre-quantisation colours (float64) and their eq. (2) bytes.
+    colors: np.ndarray
+    quantised: np.ndarray
+    #: Quantisation mode used ("round" or "floor").
+    quantization: str = "round"
+
+
+_capture_hook = None
+
+
+def set_capture_hook(hook) -> None:
+    """Install a callable receiving a :class:`FragmentCapture` after
+    every draw call.  Used by the differential test harness; pass the
+    result to :func:`clear_capture_hook` semantics by installing None."""
+    global _capture_hook
+    _capture_hook = hook
+
+
+def clear_capture_hook() -> None:
+    global _capture_hook
+    _capture_hook = None
+
+
 @dataclass
 class VertexAttribState:
     """State of one generic vertex attribute (glVertexAttribPointer +
@@ -253,6 +295,19 @@ def execute_draw(
     stats.discarded_fragments = int((~keep).sum())
 
     quantised = quantize_color(color.astype(np.float64), quantization)
+    if _capture_hook is not None:
+        _capture_hook(
+            FragmentCapture(
+                fragment_shader=program.fragment,
+                fs_presets=fs_presets,
+                px=batch.px.copy(),
+                py=batch.py.copy(),
+                discarded=fs_interp.discarded.copy(),
+                colors=color.astype(np.float64).copy(),
+                quantised=quantised.copy(),
+                quantization=quantization,
+            )
+        )
     px = batch.px[keep]
     py = batch.py[keep]
     color_buffer[py, px] = quantised[keep]

@@ -25,6 +25,7 @@ from .errors import (
 from .interp import Interpreter, compile_shader
 from .optimize import optimize
 from .printer import print_expr, print_stmt, print_unit
+from .scalar_ref import FragmentDiscarded, ScalarInterpreter, python_value
 from .typecheck import CheckedShader, ShaderStage, check
 from .types import GlslType
 
@@ -36,6 +37,9 @@ __all__ = [
     "GlslRuntimeError",
     "GlslLimitError",
     "Interpreter",
+    "ScalarInterpreter",
+    "FragmentDiscarded",
+    "python_value",
     "compile_shader",
     "CheckedShader",
     "ShaderStage",

@@ -7,7 +7,7 @@ interpreter relies on those annotations instead of re-deriving types.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import List, Optional, Tuple
 
 from .types import GlslType
@@ -287,3 +287,33 @@ class TranslationUnit(Node):
     """A whole shader."""
 
     declarations: List[Node] = field(default_factory=list)
+
+
+# ======================================================================
+# Structural comparison
+# ======================================================================
+#: Annotation fields ignored by :func:`structurally_equal` — source
+#: positions and checker-filled slots, which legitimately differ
+#: between a freshly parsed tree and a checked/printed one.
+_IGNORED_FIELDS = frozenset({"line", "resolved_type", "is_constant"})
+
+
+def structurally_equal(a, b) -> bool:
+    """True when two ASTs are identical up to source positions and type
+    annotations.  This is the equality the printer round-trip guarantee
+    (parse → print → parse) is stated in terms of, and what the test
+    shrinker relies on to detect no-op reductions."""
+    if isinstance(a, Node):
+        if type(a) is not type(b):
+            return False
+        for f in fields(a):
+            if f.name in _IGNORED_FIELDS:
+                continue
+            if not structurally_equal(getattr(a, f.name), getattr(b, f.name)):
+                return False
+        return True
+    if isinstance(a, (list, tuple)):
+        if not isinstance(b, (list, tuple)) or len(a) != len(b):
+            return False
+        return all(structurally_equal(x, y) for x, y in zip(a, b))
+    return a == b

@@ -511,14 +511,30 @@ class Interpreter:
         a, b = left.data, right.data
         flops = result_type.component_count()
 
+        # Linear-algebra products accumulate in ascending component
+        # order (a.x*b.x + a.y*b.y + ...), the same order as dot() and
+        # the scalar reference interpreter — keeping every path in the
+        # conformance harness bit-identical.
         if op == "*" and ltype.is_matrix() and rtype.is_matrix():
-            data = np.einsum("nkr,nck->ncr", a, b)
+            k = ltype.size
+            # result[n,c,r] = sum_i a[n,i,r] * b[n,c,i]
+            data = a[:, 0, :][:, None, :] * b[:, :, 0][:, :, None]
+            for i in range(1, k):
+                data = data + a[:, i, :][:, None, :] * b[:, :, i][:, :, None]
             flops = result_type.component_count() * ltype.size
         elif op == "*" and ltype.is_matrix() and rtype.is_vector():
-            data = np.einsum("ncr,nc->nr", a, b)
+            k = ltype.size
+            # result[n,r] = sum_c a[n,c,r] * b[n,c]
+            data = a[:, 0, :] * b[:, 0][:, None]
+            for c in range(1, k):
+                data = data + a[:, c, :] * b[:, c][:, None]
             flops = result_type.component_count() * ltype.size
         elif op == "*" and ltype.is_vector() and rtype.is_matrix():
-            data = np.einsum("nr,ncr->nc", a, b)
+            k = rtype.size
+            # result[n,c] = sum_r a[n,r] * b[n,c,r]
+            data = a[:, 0][:, None] * b[:, :, 0]
+            for r in range(1, k):
+                data = data + a[:, r][:, None] * b[:, :, r]
             flops = result_type.component_count() * rtype.size
         else:
             a, b = self._align_operands(left, right)

@@ -158,6 +158,16 @@ def preprocess(source: str, predefined: Optional[Dict[str, str]] = None) -> Prep
                 if params is not None
                 else None,
             )
+            previous = macros.get(macro.name)
+            if previous is not None and (
+                previous.body != macro.body or previous.params != macro.params
+            ):
+                # Spec §3.4: redefinition is legal only when the token
+                # sequences are identical.
+                raise GlslPreprocessorError(
+                    f"macro '{macro.name}' redefined with a different body",
+                    line=lineno,
+                )
             macros[macro.name] = macro
         elif directive == "undef":
             name_m = _IDENT_RE.match(rest)

@@ -49,6 +49,9 @@ def print_expr(expr: ast.Expr, parent_precedence: int = 0) -> str:
         return expr.name
     if isinstance(expr, ast.UnaryOp):
         inner = print_expr(expr.operand, _UNARY_PRECEDENCE)
+        if expr.op in ("-", "+") and inner.startswith(expr.op):
+            # "-" next to "-1.5" or "-x" would lex as "--" (decrement).
+            inner = f"({inner})"
         text = f"{expr.op}{inner}"
         return f"({text})" if parent_precedence > _UNARY_PRECEDENCE else text
     if isinstance(expr, ast.PrefixIncDec):

@@ -1,0 +1,966 @@
+"""Scalar reference interpreter: the conformance oracle.
+
+A second, independently written evaluation path for type-checked GLSL
+ES 1.00 shaders.  Where :mod:`repro.glsl.interp` executes a whole
+draw-call batch at once with numpy arrays and per-lane execution
+masks, this module executes **one** vertex or fragment at a time with
+plain Python values and ordinary recursive control flow:
+
+* ``float`` -> Python float, ``int`` -> Python int, ``bool`` -> bool,
+* ``vecK`` -> list of K floats,
+* ``matK`` -> list of K *columns*, each a list of K floats,
+* arrays -> Python lists, structs -> dicts.
+
+Control flow uses exceptions (``return``/``break``/``continue``/
+``discard``) instead of lane masks, so none of the vectorised
+interpreter's divergence machinery is shared.  The two paths are
+compared bit-exactly by :mod:`repro.testing.oracle`; any disagreement
+is a bug in one of them (or in the pipeline between them).
+
+Bit-exactness policy
+--------------------
+The independence of this oracle is in *evaluation strategy* (masking,
+broadcasting, swizzle plumbing, l-value resolution, loop/function
+semantics) — the richest bug surface — not in transcendental
+approximation.  ``+ - *`` and comparisons use native Python floats
+(IEEE double, identical to numpy's float64 loops); ``/`` and libm
+functions (sin, pow, ...) go through numpy *scalar* calls so both
+paths resolve to the same libm, keeping an 8-bit framebuffer
+comparison meaningful down to the last ulp.
+
+Only float64 ("exact") float models are supported: reduced-precision
+models quantise mid-expression, which would force this oracle to copy
+the vectorised implementation's quantisation placement and defeat the
+purpose of an independent reference.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import ast_nodes as ast
+from . import builtins as bi
+from .errors import GlslLimitError, GlslRuntimeError
+from .typecheck import CheckedShader
+from .types import BaseType, GlslType, TypeKind
+
+#: Same safety cap as the vectorised interpreter.
+DEFAULT_MAX_LOOP_ITERATIONS = 65536
+
+_INT32_MIN = -(2**31)
+
+
+def _wrap_i32(x: int) -> int:
+    """Two's-complement int32 wraparound (numpy int32 semantics)."""
+    x &= 0xFFFFFFFF
+    return x - 0x100000000 if x >= 0x80000000 else x
+
+
+def _fdiv(a: float, b: float) -> float:
+    """IEEE float division (inf/nan instead of ZeroDivisionError)."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return float(np.float64(a) / np.float64(b))
+
+
+def _idiv(a: int, b: int) -> int:
+    """GLSL ES int division as implemented by the vectorised path:
+    truncation toward zero, divide-by-zero yields 0."""
+    if b == 0:
+        return 0
+    return _wrap_i32(int(np.trunc(_fdiv(float(a), float(b)))))
+
+
+def _f2i(x: float) -> int:
+    """float -> int conversion, reproducing ``np.trunc(...).astype(int32)``
+    including the platform behaviour for out-of-range/nan inputs."""
+    return int(np.trunc(np.float64(x)).astype(np.int32))
+
+
+# ----------------------------------------------------------------------
+# Control-flow signals
+# ----------------------------------------------------------------------
+class FragmentDiscarded(Exception):
+    """Raised when the shader executes ``discard``."""
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Value helpers
+# ----------------------------------------------------------------------
+def _copy(v):
+    """Deep copy of a scalar-interpreter value."""
+    if isinstance(v, list):
+        return [_copy(e) for e in v]
+    if isinstance(v, dict):
+        return {k: _copy(e) for k, e in v.items()}
+    return v
+
+
+def zero_value(gtype: GlslType):
+    """The zero-initialised Python value of a GLSL type."""
+    if gtype.kind == TypeKind.SCALAR:
+        if gtype.base == BaseType.FLOAT:
+            return 0.0
+        if gtype.base == BaseType.INT:
+            return 0
+        return False
+    if gtype.kind == TypeKind.VECTOR:
+        return [zero_value(gtype.component_type()) for _ in range(gtype.size)]
+    if gtype.kind == TypeKind.MATRIX:
+        return [[0.0] * gtype.size for _ in range(gtype.size)]
+    if gtype.kind == TypeKind.ARRAY:
+        return [zero_value(gtype.element) for _ in range(gtype.length)]
+    if gtype.kind == TypeKind.STRUCT:
+        return {name: zero_value(ftype) for name, ftype in gtype.fields}
+    if gtype.kind == TypeKind.SAMPLER:
+        return None
+    raise GlslRuntimeError(f"cannot allocate scalar value of type {gtype}")
+
+
+def python_value(value, lane: int):
+    """Convert one lane of a batched :class:`repro.glsl.values.Value`
+    into this module's plain-Python representation."""
+    gtype = value.type
+    if gtype.is_sampler():
+        return value.sampler
+    if value.fields is not None:
+        if gtype.is_array():
+            return [
+                python_value(value.fields[str(i)], lane)
+                for i in range(gtype.length)
+            ]
+        return {k: python_value(v, lane) for k, v in value.fields.items()}
+    data = value.data
+    row = data[lane if data.shape[0] > 1 else 0]
+    return _np_to_py(row, gtype)
+
+
+def _np_to_py(row: np.ndarray, gtype: GlslType):
+    if gtype.kind == TypeKind.SCALAR:
+        if gtype.base == BaseType.FLOAT:
+            return float(row)
+        if gtype.base == BaseType.INT:
+            return int(row)
+        return bool(row)
+    if gtype.kind == TypeKind.VECTOR:
+        ctype = gtype.component_type()
+        return [_np_to_py(row[i], ctype) for i in range(gtype.size)]
+    if gtype.kind == TypeKind.MATRIX:
+        return [
+            [float(row[c, r]) for r in range(gtype.size)]
+            for c in range(gtype.size)
+        ]
+    if gtype.kind == TypeKind.ARRAY:
+        return [_np_to_py(row[i], gtype.element) for i in range(gtype.length)]
+    raise GlslRuntimeError(f"cannot convert {gtype} to a scalar value")
+
+
+# ----------------------------------------------------------------------
+# Componentwise application helpers
+# ----------------------------------------------------------------------
+def _map1(f, a):
+    if isinstance(a, list):
+        if a and isinstance(a[0], list):  # matrix
+            return [[f(x) for x in col] for col in a]
+        return [f(x) for x in a]
+    return f(a)
+
+
+def _map2(f, a, b):
+    """Componentwise binary with scalar broadcast on either side."""
+    a_list = isinstance(a, list)
+    b_list = isinstance(b, list)
+    if a_list and a and isinstance(a[0], list):  # matrix lhs
+        if b_list:
+            return [
+                [f(x, y) for x, y in zip(col_a, col_b)]
+                for col_a, col_b in zip(a, b)
+            ]
+        return [[f(x, b) for x in col] for col in a]
+    if b_list and b and isinstance(b[0], list):  # matrix rhs, scalar lhs
+        return [[f(a, y) for y in col] for col in b]
+    if a_list and b_list:
+        return [f(x, y) for x, y in zip(a, b)]
+    if a_list:
+        return [f(x, b) for x in a]
+    if b_list:
+        return [f(a, y) for y in b]
+    return f(a, b)
+
+
+def _map3(f, a, b, c):
+    return _map2(lambda x, yz: f(x, yz[0], yz[1]), a, _zip2(b, c, a))
+
+
+def _zip2(b, c, like):
+    """Pair up b and c (broadcasting scalars) shaped like ``like``."""
+    if isinstance(like, list):
+        bs = b if isinstance(b, list) else [b] * len(like)
+        cs = c if isinstance(c, list) else [c] * len(like)
+        return [(x, y) for x, y in zip(bs, cs)]
+    return (b, c)
+
+
+# libm via numpy scalar calls: same ufunc inner loops as the
+# vectorised path, applied to one element.
+def _np1(fn):
+    def call(x):
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            return float(fn(np.float64(x)))
+
+    return call
+
+
+def _np2(fn):
+    def call(x, y):
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            return float(fn(np.float64(x), np.float64(y)))
+
+    return call
+
+
+_SIN = _np1(np.sin)
+_COS = _np1(np.cos)
+_TAN = _np1(np.tan)
+_ASIN = _np1(np.arcsin)
+_ACOS = _np1(np.arccos)
+_ATAN1 = _np1(np.arctan)
+_ATAN2 = _np2(np.arctan2)
+_EXP = _np1(np.exp)
+_LOG = _np1(np.log)
+_EXP2 = _np1(np.exp2)
+_LOG2 = _np1(np.log2)
+_SQRT = _np1(np.sqrt)
+_POW = _np2(np.power)
+_FLOOR = _np1(np.floor)
+_CEIL = _np1(np.ceil)
+_SIGN = _np1(np.sign)
+_FMIN = _np2(np.minimum)
+_FMAX = _np2(np.maximum)
+
+
+def _fract(x):
+    return x - _FLOOR(x)
+
+
+def _fmod(x, y):
+    return x - y * _FLOOR(_fdiv(x, y))
+
+
+def _clamp1(x, lo, hi):
+    return _FMIN(_FMAX(x, lo), hi)
+
+
+def _mix1(x, y, a):
+    return x * (1.0 - a) + y * a
+
+
+def _step1(edge, x):
+    return 0.0 if x < edge else 1.0
+
+
+def _smoothstep1(e0, e1, x):
+    t = _clamp1(_fdiv(x - e0, e1 - e0), 0.0, 1.0)
+    return t * t * (3.0 - 2.0 * t)
+
+
+def _dot(a, b):
+    if not isinstance(a, list):
+        return a * b
+    acc = a[0] * b[0]
+    for i in range(1, len(a)):
+        acc = acc + a[i] * b[i]
+    return acc
+
+
+def _length(x):
+    if not isinstance(x, list):
+        return abs(x)
+    return _SQRT(_dot(x, x))
+
+
+def _normalize(x):
+    if not isinstance(x, list):
+        return _SIGN(x)
+    norm = _SQRT(_dot(x, x))
+    return [_fdiv(c, norm) for c in x]
+
+
+# ----------------------------------------------------------------------
+# The interpreter
+# ----------------------------------------------------------------------
+class ScalarInterpreter:
+    """Executes one shader invocation (a single vertex or fragment).
+
+    Parameters mirror :class:`repro.glsl.interp.Interpreter`, but only
+    float64 float models are accepted (see module docstring).
+    """
+
+    def __init__(
+        self,
+        checked: CheckedShader,
+        float_model=None,
+        max_loop_iterations: int = DEFAULT_MAX_LOOP_ITERATIONS,
+    ):
+        if float_model is not None and float_model.dtype != np.float64:
+            raise GlslRuntimeError(
+                "ScalarInterpreter only supports float64 (exact) models"
+            )
+        self.checked = checked
+        self.max_loop_iterations = max_loop_iterations
+        self.globals_env: Dict[str, object] = {}
+        self.scopes: List[List[Dict[str, object]]] = []  # frame -> scope stack
+        self.discarded = False
+
+    # ------------------------------------------------------------------
+    def run(self, presets: Dict[str, object]) -> Dict[str, object]:
+        """Execute ``main()`` once.  ``presets`` maps global names to
+        plain-Python values (see :func:`python_value`).  Returns the
+        final global environment; :attr:`discarded` reports whether the
+        fragment executed ``discard``."""
+        self.globals_env = {}
+        self.scopes = []
+        self.discarded = False
+
+        for name, symbol in self.checked.globals.items():
+            if name in presets:
+                self.globals_env[name] = _copy(presets[name])
+            elif symbol.type.is_sampler():
+                self.globals_env[name] = None
+            elif symbol.initializer is not None:
+                self.scopes.append([{}])
+                try:
+                    self.globals_env[name] = self.eval(symbol.initializer)
+                finally:
+                    self.scopes.pop()
+            else:
+                self.globals_env[name] = zero_value(symbol.type)
+        for name, value in presets.items():
+            self.globals_env.setdefault(name, _copy(value))
+
+        main = self.checked.functions.get("main()")
+        if main is None or main.body is None:
+            raise GlslRuntimeError("shader has no main() body")
+        try:
+            self._call(main, [], [])
+        except FragmentDiscarded:
+            self.discarded = True
+        return self.globals_env
+
+    # ------------------------------------------------------------------
+    # Environment
+    # ------------------------------------------------------------------
+    def _lookup(self, name: str):
+        if self.scopes:
+            for scope in reversed(self.scopes[-1]):
+                if name in scope:
+                    return scope[name]
+        if name in self.globals_env:
+            return self.globals_env[name]
+        raise GlslRuntimeError(f"unbound variable '{name}'")
+
+    def _set(self, name: str, value) -> None:
+        if self.scopes:
+            for scope in reversed(self.scopes[-1]):
+                if name in scope:
+                    scope[name] = value
+                    return
+        if name in self.globals_env:
+            self.globals_env[name] = value
+            return
+        raise GlslRuntimeError(f"assignment to unbound variable '{name}'")
+
+    def _declare(self, name: str, value) -> None:
+        self.scopes[-1][-1][name] = value
+
+    # ------------------------------------------------------------------
+    # Function invocation
+    # ------------------------------------------------------------------
+    def _call(self, func: ast.FunctionDef, args: List[object],
+              arg_exprs: List[ast.Expr]):
+        if len(self.scopes) > 64:
+            raise GlslLimitError("function call nesting too deep")
+        # Resolve out/inout destinations in the caller's context.
+        copy_back: List[Tuple[int, List]] = []
+        for i, param in enumerate(func.params):
+            if param.direction in ("out", "inout") and arg_exprs:
+                copy_back.append((i, self._resolve_path(arg_exprs[i])))
+
+        self.scopes.append([{}])
+        try:
+            for param, arg in zip(func.params, args):
+                if not param.name:
+                    continue
+                if param.direction == "out":
+                    self._declare(param.name, zero_value(param.resolved_type))
+                else:
+                    self._declare(param.name, _copy(arg))
+            result = None
+            try:
+                for stmt in func.body.statements:
+                    self.exec_stmt(stmt)
+            except _Return as ret:
+                result = ret.value
+            if result is None and not func.resolved_return_type.is_void():
+                # Falling off the end of a non-void function yields the
+                # zero value, matching the vectorised interpreter's
+                # zero-initialised return slot.
+                result = zero_value(func.resolved_return_type)
+            locals_env = self.scopes[-1][0]
+        finally:
+            self.scopes.pop()
+
+        for i, path in copy_back:
+            self._write_path(path, _copy(locals_env[func.params[i].name]))
+        return result
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def exec_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.CompoundStmt):
+            if self.scopes:
+                self.scopes[-1].append({})
+            try:
+                for inner in stmt.statements:
+                    self.exec_stmt(inner)
+            finally:
+                if self.scopes:
+                    self.scopes[-1].pop()
+        elif isinstance(stmt, ast.DeclStmt):
+            for declarator in stmt.declarators:
+                if declarator.initializer is not None:
+                    value = _copy(self.eval(declarator.initializer))
+                else:
+                    value = zero_value(declarator.resolved_type)
+                self._declare(declarator.name, value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.eval(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            if self.eval(stmt.condition):
+                self.exec_stmt(stmt.then_branch)
+            elif stmt.else_branch is not None:
+                self.exec_stmt(stmt.else_branch)
+        elif isinstance(stmt, ast.ForStmt):
+            self.scopes[-1].append({})
+            try:
+                if stmt.init is not None:
+                    self.exec_stmt(stmt.init)
+                self._loop(stmt.condition, stmt.update, stmt.body, pretest=True)
+            finally:
+                self.scopes[-1].pop()
+        elif isinstance(stmt, ast.WhileStmt):
+            self._loop(stmt.condition, None, stmt.body, pretest=True)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self._loop(stmt.condition, None, stmt.body, pretest=False)
+        elif isinstance(stmt, ast.ReturnStmt):
+            value = None if stmt.value is None else _copy(self.eval(stmt.value))
+            raise _Return(value)
+        elif isinstance(stmt, ast.BreakStmt):
+            raise _Break()
+        elif isinstance(stmt, ast.ContinueStmt):
+            raise _Continue()
+        elif isinstance(stmt, ast.DiscardStmt):
+            raise FragmentDiscarded()
+        else:
+            raise GlslRuntimeError(f"unhandled statement {type(stmt).__name__}")
+
+    def _loop(self, condition, update, body, pretest: bool) -> None:
+        iterations = 0
+        while True:
+            if condition is not None and (pretest or iterations > 0):
+                if not self.eval(condition):
+                    break
+            try:
+                self.exec_stmt(body)
+            except _Break:
+                break
+            except _Continue:
+                pass
+            if update is not None:
+                self.eval(update)
+            iterations += 1
+            if iterations > self.max_loop_iterations:
+                raise GlslLimitError(
+                    f"loop exceeded {self.max_loop_iterations} iterations"
+                )
+
+    # ==================================================================
+    # Expressions
+    # ==================================================================
+    def eval(self, expr: ast.Expr):
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.FloatLiteral):
+            return float(expr.value)
+        if isinstance(expr, ast.BoolLiteral):
+            return expr.value
+        if isinstance(expr, ast.Identifier):
+            return self._lookup(expr.name)
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval_unary(expr)
+        if isinstance(expr, (ast.PrefixIncDec, ast.PostfixIncDec)):
+            return self._eval_incdec(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._eval_binary(expr)
+        if isinstance(expr, ast.Assignment):
+            return self._eval_assignment(expr)
+        if isinstance(expr, ast.Conditional):
+            if self.eval(expr.condition):
+                return self.eval(expr.if_true)
+            return self.eval(expr.if_false)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.FieldAccess):
+            return self._eval_field(expr)
+        if isinstance(expr, ast.IndexAccess):
+            base = self.eval(expr.base)
+            idx = self._clamp_index(self.eval(expr.index), len(base))
+            return _copy(base[idx])
+        if isinstance(expr, ast.CommaExpr):
+            self.eval(expr.left)
+            return self.eval(expr.right)
+        raise GlslRuntimeError(f"unhandled expression {type(expr).__name__}")
+
+    @staticmethod
+    def _clamp_index(idx: int, size: int) -> int:
+        # The vectorised interpreter clips out-of-range dynamic indices
+        # (np.clip); the oracle must agree on that defensive behaviour.
+        return min(max(int(idx), 0), size - 1)
+
+    # -- unary / incdec -------------------------------------------------
+    def _eval_unary(self, expr: ast.UnaryOp):
+        operand = self.eval(expr.operand)
+        if expr.op == "+":
+            return operand
+        if expr.op == "-":
+            if expr.operand.resolved_type.is_int_based():
+                return _map1(lambda x: _wrap_i32(-x), operand)
+            return _map1(lambda x: -x, operand)
+        if expr.op == "!":
+            return not operand
+        raise GlslRuntimeError(f"unhandled unary operator '{expr.op}'")
+
+    def _eval_incdec(self, expr):
+        path = self._resolve_path(expr.operand)
+        old = self._read_path(path)
+        is_int = expr.operand.resolved_type.is_int_based()
+        delta = 1 if expr.op == "++" else -1
+        if is_int:
+            new = _map1(lambda x: _wrap_i32(x + delta), old)
+        else:
+            new = _map1(lambda x: x + float(delta), old)
+        self._write_path(path, new)
+        return new if isinstance(expr, ast.PrefixIncDec) else old
+
+    # -- binary ---------------------------------------------------------
+    def _eval_binary(self, expr: ast.BinaryOp):
+        op = expr.op
+        if op == "&&":
+            return bool(self.eval(expr.left)) and bool(self.eval(expr.right))
+        if op == "||":
+            return bool(self.eval(expr.left)) or bool(self.eval(expr.right))
+        left = self.eval(expr.left)
+        right = self.eval(expr.right)
+        if op == "^^":
+            return bool(left) != bool(right)
+        if op in ("==", "!="):
+            equal = self._deep_equal(left, right)
+            return equal if op == "==" else not equal
+        if op in ("<", ">", "<=", ">="):
+            # NaN comparisons are False, matching numpy's ufuncs.
+            if op == "<":
+                return left < right
+            if op == ">":
+                return left > right
+            if op == "<=":
+                return left <= right
+            return left >= right
+        return self._arith(op, left, right,
+                           expr.left.resolved_type, expr.right.resolved_type)
+
+    @staticmethod
+    def _deep_equal(a, b) -> bool:
+        if isinstance(a, dict):
+            return all(ScalarInterpreter._deep_equal(a[k], b[k]) for k in a)
+        if isinstance(a, list):
+            return all(
+                ScalarInterpreter._deep_equal(x, y) for x, y in zip(a, b)
+            )
+        return bool(a == b)
+
+    def _arith(self, op: str, a, b, ltype: GlslType, rtype: GlslType):
+        if op == "*" and ltype.is_matrix() and rtype.is_matrix():
+            k = ltype.size
+            return [
+                [
+                    self._sum_k(k, lambda i, c=c, r=r: a[i][r] * b[c][i])
+                    for r in range(k)
+                ]
+                for c in range(k)
+            ]
+        if op == "*" and ltype.is_matrix() and rtype.is_vector():
+            k = ltype.size
+            return [
+                self._sum_k(k, lambda c, r=r: a[c][r] * b[c]) for r in range(k)
+            ]
+        if op == "*" and ltype.is_vector() and rtype.is_matrix():
+            k = rtype.size
+            return [
+                self._sum_k(k, lambda r, c=c: a[r] * b[c][r]) for c in range(k)
+            ]
+
+        int_based = ltype.is_int_based() or rtype.is_int_based()
+        if op == "+":
+            f = (lambda x, y: _wrap_i32(x + y)) if int_based else (lambda x, y: x + y)
+        elif op == "-":
+            f = (lambda x, y: _wrap_i32(x - y)) if int_based else (lambda x, y: x - y)
+        elif op == "*":
+            f = (lambda x, y: _wrap_i32(x * y)) if int_based else (lambda x, y: x * y)
+        elif op == "/":
+            f = _idiv if int_based else _fdiv
+        else:
+            raise GlslRuntimeError(f"unhandled arithmetic operator '{op}'")
+        return _map2(f, a, b)
+
+    @staticmethod
+    def _sum_k(k: int, term: Callable[[int], float]) -> float:
+        acc = term(0)
+        for i in range(1, k):
+            acc = acc + term(i)
+        return acc
+
+    # -- assignment -----------------------------------------------------
+    def _eval_assignment(self, expr: ast.Assignment):
+        path = self._resolve_path(expr.target)
+        value = self.eval(expr.value)
+        if expr.op != "=":
+            old = self._read_path(path)
+            value = self._arith(
+                expr.op[0], old, value,
+                expr.target.resolved_type, expr.value.resolved_type,
+            )
+        self._write_path(path, _copy(value))
+        return value
+
+    # -- calls ----------------------------------------------------------
+    def _eval_call(self, expr: ast.Call):
+        if expr.is_constructor:
+            return self._eval_constructor(expr)
+        if expr.is_builtin:
+            return self._eval_builtin(expr)
+        func = self.checked.functions.get(expr.resolved_signature)
+        if func is None or func.body is None:
+            raise GlslRuntimeError(
+                f"call to undefined function '{expr.resolved_signature}'"
+            )
+        args = [self.eval(a) for a in expr.args]
+        return self._call(func, args, expr.args)
+
+    # -- constructors ---------------------------------------------------
+    def _eval_constructor(self, expr: ast.Call):
+        target = expr.constructed_type
+        args = [self.eval(a) for a in expr.args]
+
+        if target.is_struct():
+            return {
+                fname: _copy(arg)
+                for (fname, __), arg in zip(target.fields, args)
+            }
+        if target.is_scalar():
+            first = self._first_component(args[0])
+            return self._convert(first, target.base)
+        if target.is_vector():
+            if len(args) == 1 and expr.args[0].resolved_type.is_scalar():
+                converted = self._convert(args[0], target.base)
+                return [converted] * target.size
+            flat = self._flatten(args)[: target.size]
+            return [self._convert(c, target.base) for c in flat]
+        if target.is_matrix():
+            k = target.size
+            if len(args) == 1 and expr.args[0].resolved_type.is_scalar():
+                diag = self._convert(args[0], BaseType.FLOAT)
+                return [
+                    [diag if r == c else 0.0 for r in range(k)]
+                    for c in range(k)
+                ]
+            flat = [
+                self._convert(c, BaseType.FLOAT) for c in self._flatten(args)
+            ]
+            return [flat[c * k:(c + 1) * k] for c in range(k)]
+        raise GlslRuntimeError(f"cannot construct {target}")
+
+    @staticmethod
+    def _first_component(v):
+        while isinstance(v, list):
+            v = v[0]
+        return v
+
+    @staticmethod
+    def _flatten(args) -> List:
+        flat: List = []
+        for arg in args:
+            if isinstance(arg, list):
+                if arg and isinstance(arg[0], list):  # matrix, column-major
+                    for col in arg:
+                        flat.extend(col)
+                else:
+                    flat.extend(arg)
+            else:
+                flat.append(arg)
+        return flat
+
+    @staticmethod
+    def _convert(x, base: str):
+        if base == BaseType.FLOAT:
+            return float(x)
+        if base == BaseType.INT:
+            if isinstance(x, bool):
+                return int(x)
+            if isinstance(x, int):
+                return _wrap_i32(x)
+            return _f2i(x)
+        return x != 0
+
+    # -- field access / swizzle -----------------------------------------
+    def _eval_field(self, expr: ast.FieldAccess):
+        base = self.eval(expr.base)
+        if isinstance(base, dict):
+            return _copy(base[expr.field_name])
+        indices = expr.swizzle
+        if len(indices) == 1:
+            return base[indices[0]]
+        return [base[i] for i in indices]
+
+    # -- builtins -------------------------------------------------------
+    def _eval_builtin(self, expr: ast.Call):
+        overload = bi.OVERLOADS_BY_KEY[expr.resolved_signature]
+        name = overload.name
+        args = [self.eval(a) for a in expr.args]
+
+        if name in bi.TEXTURE_BUILTINS:
+            return self._eval_texture(overload, args)
+
+        fn = _BUILTIN_IMPLS.get(name)
+        if fn is None:
+            raise GlslRuntimeError(f"builtin '{name}' not supported by the "
+                                   "scalar reference interpreter")
+        return fn(self, args, expr)
+
+    def _eval_texture(self, overload, args):
+        sampler = args[0]
+        coords = [float(c) for c in args[1]]
+        if sampler is None:
+            return [0.0, 0.0, 0.0, 1.0]  # incomplete texture: opaque black
+        if overload.impl == "texture2DProj3":
+            coords = [_fdiv(coords[0], coords[2]), _fdiv(coords[1], coords[2])]
+        elif overload.impl == "texture2DProj4":
+            coords = [_fdiv(coords[0], coords[3]), _fdiv(coords[1], coords[3])]
+        elif overload.impl == "textureCube":
+            texels = sampler.sample_cube(np.array([coords], dtype=np.float64))
+            return [float(texels[0, i]) for i in range(4)]
+        texels = sampler.sample(
+            np.array([coords[0]], dtype=np.float64),
+            np.array([coords[1]], dtype=np.float64),
+        )
+        return [float(texels[0, i]) for i in range(4)]
+
+    # ==================================================================
+    # L-value paths
+    # ==================================================================
+    # A path is the variable name followed by a list of accessor steps;
+    # index operands are evaluated exactly once, at resolution time.
+    def _resolve_path(self, expr: ast.Expr) -> List:
+        if isinstance(expr, ast.Identifier):
+            return [("var", expr.name)]
+        if isinstance(expr, ast.FieldAccess):
+            path = self._resolve_path(expr.base)
+            if expr.swizzle is not None:
+                path.append(("swizzle", expr.swizzle))
+            else:
+                path.append(("field", expr.field_name))
+            return path
+        if isinstance(expr, ast.IndexAccess):
+            path = self._resolve_path(expr.base)
+            path.append(("index", int(self.eval(expr.index))))
+            return path
+        raise GlslRuntimeError("expression is not an l-value")
+
+    def _read_path(self, path: List):
+        value = self._lookup(path[0][1])
+        for kind, key in path[1:]:
+            if kind == "field":
+                value = value[key]
+            elif kind == "index":
+                value = value[self._clamp_index(key, len(value))]
+            else:  # swizzle
+                if len(key) == 1:
+                    value = value[key[0]]
+                else:
+                    value = [value[i] for i in key]
+        return _copy(value)
+
+    def _write_path(self, path: List, value) -> None:
+        name = path[0][1]
+        if len(path) == 1:
+            self._set(name, _copy(value))
+            return
+        container = self._lookup(name)
+        # Walk to the parent of the final step.
+        for kind, key in path[1:-1]:
+            if kind == "field":
+                container = container[key]
+            elif kind == "index":
+                container = container[self._clamp_index(key, len(container))]
+            else:
+                raise GlslRuntimeError("cannot write through a swizzle chain")
+        kind, key = path[-1]
+        if kind == "field":
+            container[key] = _copy(value)
+        elif kind == "index":
+            container[self._clamp_index(key, len(container))] = _copy(value)
+        else:  # swizzle store
+            if len(set(key)) != len(key):
+                raise GlslRuntimeError(
+                    "cannot write through a swizzle with repeated components"
+                )
+            if len(key) == 1:
+                container[key[0]] = value
+            else:
+                for slot, component in enumerate(key):
+                    container[component] = value[slot]
+
+
+# ----------------------------------------------------------------------
+# Built-in implementations (independent of repro.glsl.builtins impls)
+# ----------------------------------------------------------------------
+def _impl(fn):
+    """Adapt a componentwise scalar function of N args."""
+
+    def call(interp, args, expr):
+        if len(args) == 1:
+            return _map1(fn, args[0])
+        if len(args) == 2:
+            return _map2(fn, args[0], args[1])
+        return _map3(fn, args[0], args[1], args[2])
+
+    return call
+
+
+def _geom(fn):
+    def call(interp, args, expr):
+        return fn(*args)
+
+    return call
+
+
+def _reflect(i, n):
+    d = _dot(n, i)
+    if isinstance(i, list):
+        t = 2.0 * d
+        return [ic - t * nc for ic, nc in zip(i, n)]
+    return i - 2.0 * d * n
+
+
+def _refract(i, n, eta):
+    d = _dot(n, i)
+    k = 1.0 - eta * eta * (1.0 - d * d)
+    if k < 0.0:
+        return [0.0] * len(i) if isinstance(i, list) else 0.0
+    root = _SQRT(k)
+    if isinstance(i, list):
+        return [eta * ic - (eta * d + root) * nc for ic, nc in zip(i, n)]
+    return eta * i - (eta * d + root) * n
+
+
+def _faceforward(nv, iv, nref):
+    flipped = _dot(nref, iv) < 0.0
+    if isinstance(nv, list):
+        return [c if flipped else -c for c in nv]
+    return nv if flipped else -nv
+
+
+def _cross(a, b):
+    return [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+
+
+def _relational(cmp):
+    def call(interp, args, expr):
+        return [bool(cmp(x, y)) for x, y in zip(args[0], args[1])]
+
+    return call
+
+
+_BUILTIN_IMPLS: Dict[str, Callable] = {
+    "radians": _impl(lambda x: x * (math.pi / 180.0)),
+    "degrees": _impl(lambda x: x * (180.0 / math.pi)),
+    "sin": _impl(_SIN),
+    "cos": _impl(_COS),
+    "tan": _impl(_TAN),
+    "asin": _impl(_ASIN),
+    "acos": _impl(_ACOS),
+    "atan": lambda interp, args, expr: (
+        _map1(_ATAN1, args[0]) if len(args) == 1
+        else _map2(_ATAN2, args[0], args[1])
+    ),
+    "pow": _impl(_POW),
+    "exp": _impl(_EXP),
+    "log": _impl(_LOG),
+    "exp2": _impl(_EXP2),
+    "log2": _impl(_LOG2),
+    "sqrt": _impl(_SQRT),
+    "inversesqrt": _impl(lambda x: _fdiv(1.0, _SQRT(x))),
+    "abs": _impl(abs),
+    "sign": _impl(_SIGN),
+    "floor": _impl(_FLOOR),
+    "ceil": _impl(_CEIL),
+    "fract": _impl(_fract),
+    "mod": _impl(_fmod),
+    "min": _impl(_FMIN),
+    "max": _impl(_FMAX),
+    "clamp": _impl(_clamp1),
+    "mix": _impl(_mix1),
+    "step": _impl(_step1),
+    "smoothstep": _impl(_smoothstep1),
+    "length": _geom(_length),
+    "distance": _geom(lambda a, b: _length(_map2(lambda x, y: x - y, a, b))),
+    "dot": _geom(_dot),
+    "cross": _geom(_cross),
+    "normalize": _geom(_normalize),
+    "faceforward": _geom(_faceforward),
+    "reflect": _geom(_reflect),
+    "refract": _geom(_refract),
+    "matrixCompMult": _geom(
+        lambda a, b: [
+            [x * y for x, y in zip(ca, cb)] for ca, cb in zip(a, b)
+        ]
+    ),
+    "lessThan": _relational(lambda x, y: x < y),
+    "lessThanEqual": _relational(lambda x, y: x <= y),
+    "greaterThan": _relational(lambda x, y: x > y),
+    "greaterThanEqual": _relational(lambda x, y: x >= y),
+    "equal": _relational(lambda x, y: x == y),
+    "notEqual": _relational(lambda x, y: x != y),
+    "any": _geom(lambda v: any(v)),
+    "all": _geom(lambda v: all(v)),
+    "not": lambda interp, args, expr: [not x for x in args[0]],
+}

@@ -1,0 +1,50 @@
+"""Differential conformance harness for the software GPU.
+
+The correctness net behind every refactor of ``repro.glsl`` /
+``repro.gles2``:
+
+* :mod:`repro.testing.generator` — random, type-correct GLSL ES 1.00
+  fragment shaders (arithmetic, swizzles, matrices, control flow under
+  the Appendix-A loop restrictions, the builtin library).
+* :mod:`repro.testing.oracle` — runs one shader through the full
+  raster pipeline, the vectorised interpreter, and the independent
+  scalar reference interpreter, comparing RGBA8 outputs bit-exactly.
+* :mod:`repro.testing.shrink` — greedy AST-level reduction of failing
+  programs to minimal reproducers (via ``glsl.printer``).
+* :mod:`repro.testing.fuzz` — the CLI differential runner
+  (``python -m repro.testing.fuzz --n 500 --seed 0``).
+* :mod:`repro.testing.corpus` — golden corpus management for
+  ``tests/corpus/*.glsl`` + expected framebuffers.
+"""
+
+from .generator import GeneratorConfig, generate_program
+from .oracle import (
+    DifferentialResult,
+    inject_eq2_off_by_one,
+    reference_quantize,
+    run_differential,
+)
+from .shrink import shrink_source
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_program",
+    "DifferentialResult",
+    "run_differential",
+    "reference_quantize",
+    "inject_eq2_off_by_one",
+    "shrink_source",
+    "CorpusEntry",
+    "build_entries",
+]
+
+
+def __getattr__(name):
+    # Lazy: importing .corpus here eagerly would make
+    # ``python -m repro.testing.corpus`` warn about the module already
+    # being in sys.modules before runpy executes it.
+    if name in ("CorpusEntry", "build_entries"):
+        from . import corpus
+
+        return getattr(corpus, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,382 @@
+"""The differential oracle: three independent ways to render a shader.
+
+For one fragment shader the oracle produces three RGBA8 framebuffers
+and demands they agree bit-for-bit:
+
+A. **pipeline** — the full ``gles2`` raster path: vertex shading,
+   rasterisation, varying interpolation, the vectorised fragment
+   interpreter, and the pipeline's own eq. (2) quantiser.
+B. **vectorised replay** — the captured per-fragment presets replayed
+   through a *fresh* vectorised interpreter, quantised by this
+   module's independent :func:`reference_quantize`.
+C. **scalar reference** — every fragment individually evaluated by
+   :class:`repro.glsl.scalar_ref.ScalarInterpreter` (plain Python
+   recursion, no numpy vectorisation), quantised by
+   :func:`reference_quantize`.
+
+A≠B catches framebuffer plumbing and quantisation bugs (this is what
+flags the deliberately injected eq. (2) off-by-one); B≠C catches
+divergence between the two interpreter implementations — masking,
+broadcasting, l-value or builtin semantics.  The rasteriser itself is
+checked by asserting the fullscreen quad covers every pixel exactly
+once (top-left fill rule conformance).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..gles2 import GLES2Context, enums as gl
+from ..gles2 import pipeline as gles2_pipeline
+from ..glsl.interp import Interpreter
+from ..glsl.scalar_ref import ScalarInterpreter, python_value
+from ..glsl.values import Value
+
+#: Vertex shader used for all differential runs: fullscreen quad with
+#: a [0,1]^2 ``v_uv`` varying (same shape as the paper's challenge-(1)
+#: pass-through shader).
+STANDARD_VERTEX_SHADER = """
+attribute vec2 a_position;
+varying vec2 v_uv;
+void main() {
+    v_uv = a_position * 0.5 + 0.5;
+    gl_Position = vec4(a_position, 0.0, 1.0);
+}
+"""
+
+_QUAD = np.array(
+    [[-1, -1], [1, -1], [1, 1], [-1, -1], [1, 1], [-1, 1]], dtype=np.float32
+)
+
+#: Deterministic values for the generator's standard uniforms.
+STANDARD_UNIFORM_VALUES: Dict[str, object] = {
+    "u_f0": 0.37,
+    "u_f1": -1.25,
+    "u_v2": (0.81, 0.13),
+    "u_v3": (0.29, -0.64, 1.07),
+    "u_v4": (0.52, 0.91, -0.33, 0.18),
+}
+
+_CLEAR_COLOR = (0.0, 0.0, 0.0, 0.0)
+
+
+def reference_quantize(component: float, mode: str = "round") -> int:
+    """Independent scalar implementation of the paper's eq. (2): clamp
+    one colour component to [0, 1] and quantise to an unsigned byte.
+
+    Deliberately *not* implemented via
+    :func:`repro.gles2.pipeline.quantize_color` so that bugs injected
+    there are visible to the oracle.
+    """
+    c = float(component)
+    c = 0.0 if c < 0.0 else (1.0 if c > 1.0 else c)
+    if mode == "floor":
+        return int(np.floor(np.float64(c) * 255.0))
+    return int(np.floor(np.float64(c) * 255.0 + 0.5))
+
+
+@dataclass
+class DifferentialResult:
+    """Outcome of one three-way differential run."""
+
+    ok: bool
+    source: str
+    #: "" when ok; otherwise which comparison failed
+    #: ("coverage", "discard", "color", "pipeline-vs-reference").
+    stage: str = ""
+    message: str = ""
+    framebuffer: Optional[np.ndarray] = None
+    mismatches: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.ok:
+            return "ok"
+        lines = [f"divergence at stage '{self.stage}': {self.message}"]
+        lines += self.mismatches[:8]
+        return "\n".join(lines)
+
+
+@contextlib.contextmanager
+def inject_eq2_off_by_one():
+    """Deliberately corrupt the pipeline's eq. (2) quantiser: scale by
+    2^8 - 2 instead of 2^8 - 1 (the classic off-by-one in the paper's
+    quantisation formula).  Used to validate that the differential
+    harness actually catches pipeline bugs."""
+    original = gles2_pipeline.quantize_color
+
+    def broken_quantize(color: np.ndarray, mode: str = "round") -> np.ndarray:
+        clamped = np.clip(color, 0.0, 1.0)
+        if mode == "floor":
+            return np.floor(clamped * 254.0).astype(np.uint8)
+        return np.floor(clamped * 254.0 + 0.5).astype(np.uint8)
+
+    gles2_pipeline.quantize_color = broken_quantize
+    try:
+        yield
+    finally:
+        gles2_pipeline.quantize_color = original
+
+
+@contextlib.contextmanager
+def _capture():
+    captures: List[gles2_pipeline.FragmentCapture] = []
+    gles2_pipeline.set_capture_hook(captures.append)
+    try:
+        yield captures
+    finally:
+        gles2_pipeline.clear_capture_hook()
+
+
+def _clone_presets(presets: Dict[str, Value]) -> Dict[str, Value]:
+    return {name: value.clone() for name, value in presets.items()}
+
+
+def _set_uniform(ctx, prog, name: str, value) -> None:
+    loc = ctx.glGetUniformLocation(prog, name)
+    if loc < 0:
+        return
+    if isinstance(value, bool) or isinstance(value, int):
+        ctx.glUniform1i(loc, int(value))
+    elif isinstance(value, float):
+        ctx.glUniform1f(loc, value)
+    else:
+        values = tuple(float(v) for v in value)
+        {
+            2: ctx.glUniform2f,
+            3: ctx.glUniform3f,
+            4: ctx.glUniform4f,
+        }[len(values)](loc, *values)
+
+
+def draw_for_capture(
+    fragment_source: str,
+    *,
+    size: int = 4,
+    quantization: str = "round",
+    uniforms: Optional[Dict[str, object]] = None,
+    textures: Optional[Dict[str, np.ndarray]] = None,
+    vertex_source: str = STANDARD_VERTEX_SHADER,
+):
+    """Draw a fullscreen quad with ``fragment_source`` and capture the
+    per-fragment state.  Returns ``(framebuffer, capture)``.
+
+    ``uniforms`` maps uniform names to floats/ints/tuples; ``textures``
+    maps sampler uniform names to (H, W, 4) uint8 arrays.
+    ``vertex_source`` may replace the standard quad shader (e.g. the
+    codegen pass-through shader, whose varying is ``v_coord``).
+    """
+    ctx = GLES2Context(
+        width=size, height=size, float_model="exact", quantization=quantization
+    )
+    vs = ctx.glCreateShader(gl.GL_VERTEX_SHADER)
+    ctx.glShaderSource(vs, vertex_source)
+    ctx.glCompileShader(vs)
+    fs = ctx.glCreateShader(gl.GL_FRAGMENT_SHADER)
+    ctx.glShaderSource(fs, fragment_source)
+    ctx.glCompileShader(fs)
+    if not ctx.glGetShaderiv(fs, gl.GL_COMPILE_STATUS):
+        raise ValueError(
+            "fragment shader failed to compile:\n"
+            + ctx.glGetShaderInfoLog(fs)
+        )
+    prog = ctx.glCreateProgram()
+    ctx.glAttachShader(prog, vs)
+    ctx.glAttachShader(prog, fs)
+    ctx.glLinkProgram(prog)
+    if not ctx.glGetProgramiv(prog, gl.GL_LINK_STATUS):
+        raise ValueError("link failed: " + ctx.glGetProgramInfoLog(prog))
+    ctx.glUseProgram(prog)
+
+    merged = dict(STANDARD_UNIFORM_VALUES)
+    merged.update(uniforms or {})
+    for name, value in merged.items():
+        _set_uniform(ctx, prog, name, value)
+
+    for unit, (name, image) in enumerate((textures or {}).items()):
+        tex = ctx.glGenTextures(1)[0]
+        ctx.glActiveTexture(gl.GL_TEXTURE0 + unit)
+        ctx.glBindTexture(gl.GL_TEXTURE_2D, tex)
+        # Mipmap-free completeness: without these the default
+        # GL_NEAREST_MIPMAP_LINEAR min filter makes the texture
+        # incomplete and every sample returns opaque black.
+        ctx.glTexParameteri(gl.GL_TEXTURE_2D, gl.GL_TEXTURE_MIN_FILTER,
+                            gl.GL_NEAREST)
+        ctx.glTexParameteri(gl.GL_TEXTURE_2D, gl.GL_TEXTURE_MAG_FILTER,
+                            gl.GL_NEAREST)
+        ctx.glTexParameteri(gl.GL_TEXTURE_2D, gl.GL_TEXTURE_WRAP_S,
+                            gl.GL_CLAMP_TO_EDGE)
+        ctx.glTexParameteri(gl.GL_TEXTURE_2D, gl.GL_TEXTURE_WRAP_T,
+                            gl.GL_CLAMP_TO_EDGE)
+        image = np.ascontiguousarray(image, dtype=np.uint8)
+        ctx.glTexImage2D(
+            gl.GL_TEXTURE_2D, 0, gl.GL_RGBA, image.shape[1], image.shape[0],
+            0, gl.GL_RGBA, gl.GL_UNSIGNED_BYTE, image,
+        )
+        loc = ctx.glGetUniformLocation(prog, name)
+        if loc >= 0:
+            ctx.glUniform1i(loc, unit)
+
+    loc = ctx.glGetAttribLocation(prog, "a_position")
+    ctx.glEnableVertexAttribArray(loc)
+    ctx.glVertexAttribPointer(loc, 2, gl.GL_FLOAT, False, 0, _QUAD)
+    ctx.glViewport(0, 0, size, size)
+    ctx.glClearColor(*_CLEAR_COLOR)
+    ctx.glClear(gl.GL_COLOR_BUFFER_BIT)
+    with _capture() as captures:
+        ctx.glDrawArrays(gl.GL_TRIANGLES, 0, 6)
+    framebuffer = ctx.glReadPixels(
+        0, 0, size, size, gl.GL_RGBA, gl.GL_UNSIGNED_BYTE
+    )
+    if len(captures) != 1:
+        raise RuntimeError(f"expected 1 draw capture, got {len(captures)}")
+    return framebuffer, captures[0]
+
+
+def run_differential(
+    fragment_source: str,
+    *,
+    size: int = 4,
+    quantization: str = "round",
+    uniforms: Optional[Dict[str, object]] = None,
+    textures: Optional[Dict[str, np.ndarray]] = None,
+    vertex_source: str = STANDARD_VERTEX_SHADER,
+) -> DifferentialResult:
+    """Render ``fragment_source`` through all three paths and compare
+    the resulting RGBA8 framebuffers bit-exactly."""
+    framebuffer, capture = draw_for_capture(
+        fragment_source,
+        size=size,
+        quantization=quantization,
+        uniforms=uniforms,
+        textures=textures,
+        vertex_source=vertex_source,
+    )
+
+    def fail(stage: str, message: str, mismatches=()) -> DifferentialResult:
+        return DifferentialResult(
+            ok=False,
+            source=fragment_source,
+            stage=stage,
+            message=message,
+            framebuffer=framebuffer,
+            mismatches=list(mismatches),
+        )
+
+    # ------------------------------------------------------------------
+    # Rasteriser conformance: the quad must cover each pixel once.
+    # ------------------------------------------------------------------
+    n = capture.px.shape[0]
+    if n != size * size:
+        return fail(
+            "coverage",
+            f"quad rasterised {n} fragments for {size}x{size} pixels",
+        )
+    linear = capture.py.astype(np.int64) * size + capture.px.astype(np.int64)
+    if np.unique(linear).size != n:
+        return fail("coverage", "a pixel was covered more than once")
+
+    # ------------------------------------------------------------------
+    # Path B: vectorised replay on the captured presets.
+    # ------------------------------------------------------------------
+    checked = capture.fragment_shader
+    replay = Interpreter(checked)
+    env = replay.execute(n, _clone_presets(capture.fs_presets))
+    if "gl_FragData" in checked.written_builtins:
+        frag_value = env["gl_FragData"].fields["0"]
+    else:
+        frag_value = env["gl_FragColor"]
+    colors_b = np.broadcast_to(
+        frag_value.data.astype(np.float64), (n, 4)
+    )
+    discard_b = replay.discarded
+
+    # ------------------------------------------------------------------
+    # Path C: scalar reference, one fragment at a time.
+    # ------------------------------------------------------------------
+    colors_c = np.zeros((n, 4), dtype=np.float64)
+    discard_c = np.zeros(n, dtype=bool)
+    preset_names = list(capture.fs_presets)
+    for lane in range(n):
+        lane_presets = {
+            name: python_value(capture.fs_presets[name], lane)
+            for name in preset_names
+        }
+        scalar = ScalarInterpreter(checked)
+        scalar_env = scalar.run(lane_presets)
+        discard_c[lane] = scalar.discarded
+        if scalar.discarded:
+            continue
+        if "gl_FragData" in checked.written_builtins:
+            rgba = scalar_env["gl_FragData"][0]
+        else:
+            rgba = scalar_env["gl_FragColor"]
+        colors_c[lane] = rgba
+
+    # ------------------------------------------------------------------
+    # Compare interpreter outputs (pre-quantisation, bit-exact floats).
+    # ------------------------------------------------------------------
+    if not np.array_equal(discard_b, discard_c):
+        lanes = np.nonzero(discard_b != discard_c)[0][:4]
+        return fail(
+            "discard",
+            "vectorised and scalar interpreters disagree on discard",
+            [
+                f"  fragment ({capture.px[i]},{capture.py[i]}): "
+                f"vectorised={bool(discard_b[i])} scalar={bool(discard_c[i])}"
+                for i in lanes
+            ],
+        )
+    live = ~discard_b
+    if not np.array_equal(colors_b[live], colors_c[live]):
+        diff = np.any(colors_b != colors_c, axis=1) & live
+        lanes = np.nonzero(diff)[0][:4]
+        return fail(
+            "color",
+            "vectorised and scalar interpreters disagree on gl_FragColor",
+            [
+                f"  fragment ({capture.px[i]},{capture.py[i]}): "
+                f"vectorised={colors_b[i].tolist()} "
+                f"scalar={colors_c[i].tolist()}"
+                for i in lanes
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # Compose the reference framebuffer with the independent quantiser
+    # and compare against the pipeline's output.
+    # ------------------------------------------------------------------
+    clear_bytes = [
+        reference_quantize(c, quantization) for c in _CLEAR_COLOR
+    ]
+    reference = np.empty((size, size, 4), dtype=np.uint8)
+    reference[:, :] = clear_bytes
+    for lane in range(n):
+        if discard_c[lane]:
+            continue
+        x = int(capture.px[lane])
+        y = int(capture.py[lane])
+        reference[y, x] = [
+            reference_quantize(colors_c[lane][ch], quantization)
+            for ch in range(4)
+        ]
+    if not np.array_equal(framebuffer, reference):
+        diff = np.nonzero(np.any(framebuffer != reference, axis=2))
+        mismatches = [
+            f"  pixel ({x},{y}): pipeline={framebuffer[y, x].tolist()} "
+            f"reference={reference[y, x].tolist()}"
+            for y, x in list(zip(diff[0], diff[1]))[:4]
+        ]
+        return fail(
+            "pipeline-vs-reference",
+            "pipeline framebuffer does not match the independently "
+            "quantised oracle (eq. (2) path)",
+            mismatches,
+        )
+
+    return DifferentialResult(
+        ok=True, source=fragment_source, framebuffer=framebuffer
+    )

@@ -1,10 +1,28 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro import GpgpuDevice
+
+try:
+    from hypothesis import settings
+except ImportError:  # hypothesis is optional outside the test extra
+    settings = None
+
+if settings is not None:
+    # "ci" (the default) is fully deterministic: a fixed example budget,
+    # derandomized search, and no deadline so loaded CI hosts don't
+    # produce flaky timing failures.  "dev" explores new random examples
+    # every run; select it with HYPOTHESIS_PROFILE=dev.
+    settings.register_profile(
+        "ci", max_examples=50, deadline=None, derandomize=True
+    )
+    settings.register_profile("dev", max_examples=100, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture

@@ -1,0 +1,8 @@
+
+precision highp float;
+varying vec2 v_coord;
+uniform sampler2D u_source;
+
+void main() {
+    gl_FragColor = texture2D(u_source, v_coord);
+}

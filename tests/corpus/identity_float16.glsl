@@ -1,0 +1,96 @@
+precision highp float;
+// GPGPU kernel 'identity_float16' (generated)
+varying vec2 v_coord;
+uniform vec2 u_out_size;
+uniform sampler2D u_tex_x;
+uniform vec2 u_size_x;
+
+float gpgpu_byte(float channel) {
+    return floor(channel * 255.0 + 0.5);
+}
+
+vec4 gpgpu_bytes(vec4 texel) {
+    return floor(texel * 255.0 + vec4(0.5));
+}
+
+
+vec2 gpgpu_index_to_coord(float index, vec2 size) {
+    float x = mod(index, size.x);
+    float y = floor(index / size.x);
+    return (vec2(x, y) + 0.5) / size;
+}
+
+float gpgpu_coord_to_index(vec2 coord, vec2 size) {
+    vec2 p = floor(coord * size);
+    return p.y * size.x + p.x;
+}
+
+
+float gpgpu_unpack_half(vec4 texel) {
+    vec4 b = gpgpu_bytes(texel);
+    float sign_ = b.g >= 128.0 ? -1.0 : 1.0;
+    float rest = b.g >= 128.0 ? b.g - 128.0 : b.g;
+    float e = floor(rest / 4.0);
+    float mant = (rest - e * 4.0) * 256.0 + b.r;
+    if (e == 0.0) {
+        return sign_ * mant * exp2(-24.0);
+    }
+    if (e == 31.0) {
+        return mant == 0.0 ? sign_ / 0.0 : 0.0 / 0.0;
+    }
+    return sign_ * (1.0 + mant / 1024.0) * exp2(e - 15.0);
+}
+
+vec4 gpgpu_pack_half(float value) {
+    if (value == 0.0) {
+        return vec4(0.0, 0.0, 0.0, 1.0);
+    }
+    if (value != value) {
+        return vec4(0.0, 126.0, 0.0, 255.0) / 255.0;  // quiet NaN
+    }
+    float sign_ = value < 0.0 ? 1.0 : 0.0;
+    float a = abs(value);
+    if (a > 65504.0) {
+        return vec4(0.0, sign_ * 128.0 + 124.0, 0.0, 255.0) / 255.0;
+    }
+    float e = floor(log2(a));
+    float p = a * exp2(-e);
+    if (p >= 2.0) {
+        e += 1.0;
+        p *= 0.5;
+    }
+    if (p < 1.0) {
+        e -= 1.0;
+        p *= 2.0;
+    }
+    float mant = floor((p - 1.0) * 1024.0 + 0.5);
+    if (mant >= 1024.0) {
+        e += 1.0;
+        mant = 0.0;
+    }
+    float biased = e + 15.0;
+    if (e < -14.0) {
+        mant = floor(a * exp2(24.0) + 0.5);
+        biased = 0.0;
+        if (mant >= 1024.0) {
+            biased = 1.0;
+            mant = 0.0;
+        }
+    }
+    float high = sign_ * 128.0 + biased * 4.0 + floor(mant / 256.0);
+    return vec4(mod(mant, 256.0), high, 0.0, 255.0) / 255.0;
+}
+
+float fetch_x(float index) {
+    vec2 coord = gpgpu_index_to_coord(index, u_size_x);
+    return gpgpu_unpack_half(texture2D(u_tex_x, coord));
+}
+void main() {
+    float gpgpu_index = gpgpu_coord_to_index(v_coord, u_out_size);
+    float x = fetch_x(gpgpu_index);
+    float result = 0.0;
+    {
+        result = x;
+    }
+    gl_FragColor = gpgpu_pack_half(result);
+}

@@ -1,0 +1,52 @@
+precision highp float;
+// GPGPU kernel 'identity_uint16' (generated)
+varying vec2 v_coord;
+uniform vec2 u_out_size;
+uniform sampler2D u_tex_x;
+uniform vec2 u_size_x;
+
+float gpgpu_byte(float channel) {
+    return floor(channel * 255.0 + 0.5);
+}
+
+vec4 gpgpu_bytes(vec4 texel) {
+    return floor(texel * 255.0 + vec4(0.5));
+}
+
+
+vec2 gpgpu_index_to_coord(float index, vec2 size) {
+    float x = mod(index, size.x);
+    float y = floor(index / size.x);
+    return (vec2(x, y) + 0.5) / size;
+}
+
+float gpgpu_coord_to_index(vec2 coord, vec2 size) {
+    vec2 p = floor(coord * size);
+    return p.y * size.x + p.x;
+}
+
+
+float gpgpu_unpack_uint16(vec4 texel) {
+    vec4 b = gpgpu_bytes(texel);
+    return b.r + b.g * 256.0;
+}
+
+vec4 gpgpu_pack_uint16(float value) {
+    float v = floor(value + 0.5);
+    return vec4(mod(v, 256.0), mod(floor(v / 256.0), 256.0), 0.0, 255.0)
+        / 255.0;
+}
+
+float fetch_x(float index) {
+    vec2 coord = gpgpu_index_to_coord(index, u_size_x);
+    return gpgpu_unpack_uint16(texture2D(u_tex_x, coord));
+}
+void main() {
+    float gpgpu_index = gpgpu_coord_to_index(v_coord, u_out_size);
+    float x = fetch_x(gpgpu_index);
+    float result = 0.0;
+    {
+        result = x;
+    }
+    gl_FragColor = gpgpu_pack_uint16(result);
+}

@@ -1,0 +1,29 @@
+
+precision highp float;
+varying vec2 v_coord;
+uniform sampler2D u_a;
+uniform sampler2D u_b;
+
+float unpack_int(vec4 texel) {
+    vec4 b = floor(texel * 255.0 + vec4(0.5));
+    float low = b.r + b.g * 256.0 + b.b * 65536.0;
+    float hi = b.a < 128.0 ? b.a : b.a - 256.0;
+    return low + hi * 16777216.0;
+}
+
+vec4 pack_int(float value) {
+    float v = floor(value + 0.5);
+    float low = v < 0.0 ? v + 16777216.0 : v;
+    vec4 b;
+    b.r = mod(low, 256.0);
+    b.g = mod(floor(low / 256.0), 256.0);
+    b.b = mod(floor(low / 65536.0), 256.0);
+    b.a = v < 0.0 ? 255.0 : mod(floor(v / 16777216.0), 256.0);
+    return b / 255.0;
+}
+
+void main() {
+    float a = unpack_int(texture2D(u_a, v_coord));
+    float b = unpack_int(texture2D(u_b, v_coord));
+    gl_FragColor = pack_int(a + b);
+}

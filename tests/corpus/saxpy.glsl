@@ -1,0 +1,101 @@
+precision highp float;
+// GPGPU kernel 'saxpy' (generated)
+varying vec2 v_coord;
+uniform vec2 u_out_size;
+uniform sampler2D u_tex_x;
+uniform vec2 u_size_x;
+uniform sampler2D u_tex_y;
+uniform vec2 u_size_y;
+uniform float u_alpha;
+
+float gpgpu_byte(float channel) {
+    return floor(channel * 255.0 + 0.5);
+}
+
+vec4 gpgpu_bytes(vec4 texel) {
+    return floor(texel * 255.0 + vec4(0.5));
+}
+
+
+vec2 gpgpu_index_to_coord(float index, vec2 size) {
+    float x = mod(index, size.x);
+    float y = floor(index / size.x);
+    return (vec2(x, y) + 0.5) / size;
+}
+
+float gpgpu_coord_to_index(vec2 coord, vec2 size) {
+    vec2 p = floor(coord * size);
+    return p.y * size.x + p.x;
+}
+
+
+float gpgpu_unpack_float32(vec4 texel) {
+    vec4 b = gpgpu_bytes(texel);
+    float sign_ = b.b >= 128.0 ? -1.0 : 1.0;
+    float mhi = b.b >= 128.0 ? b.b - 128.0 : b.b;
+    float mant = b.r + b.g * 256.0 + mhi * 65536.0;
+    if (b.a == 0.0) {
+        return 0.0;
+    }
+    if (b.a == 255.0) {
+        return mant == 0.0 ? sign_ / 0.0 : 0.0 / 0.0;
+    }
+    return sign_ * (1.0 + mant / 8388608.0) * exp2(b.a - 127.0);
+}
+
+vec4 gpgpu_pack_float32(float value) {
+    if (value == 0.0) {
+        return vec4(0.0);
+    }
+    if (value != value) {
+        // NaN: quiet-NaN pattern (exponent 255, mantissa bit 22 set).
+        return vec4(0.0, 0.0, 64.0, 255.0) / 255.0;
+    }
+    float sign_ = value < 0.0 ? 1.0 : 0.0;
+    float a = abs(value);
+    if (a > 3.4028235e38) {
+        // Infinity: exponent 255, zero mantissa, sign in byte 2.
+        return vec4(0.0, 0.0, sign_ * 128.0, 255.0) / 255.0;
+    }
+    float e = floor(log2(a));
+    float p = a * exp2(-e);
+    if (p >= 2.0) {
+        e += 1.0;
+        p *= 0.5;
+    }
+    if (p < 1.0) {
+        e -= 1.0;
+        p *= 2.0;
+    }
+    float mant = floor((p - 1.0) * 8388608.0 + 0.5);
+    if (mant >= 8388608.0) {
+        e += 1.0;
+        mant = 0.0;
+    }
+    e = clamp(e, -126.0, 128.0);
+    vec4 b;
+    b.r = mod(mant, 256.0);
+    b.g = mod(floor(mant / 256.0), 256.0);
+    b.b = mod(floor(mant / 65536.0), 128.0) + sign_ * 128.0;
+    b.a = e + 127.0;
+    return b / 255.0;
+}
+
+float fetch_x(float index) {
+    vec2 coord = gpgpu_index_to_coord(index, u_size_x);
+    return gpgpu_unpack_float32(texture2D(u_tex_x, coord));
+}
+float fetch_y(float index) {
+    vec2 coord = gpgpu_index_to_coord(index, u_size_y);
+    return gpgpu_unpack_float32(texture2D(u_tex_y, coord));
+}
+void main() {
+    float gpgpu_index = gpgpu_coord_to_index(v_coord, u_out_size);
+    float x = fetch_x(gpgpu_index);
+    float y = fetch_y(gpgpu_index);
+    float result = 0.0;
+    {
+        result = u_alpha * x + y;
+    }
+    gl_FragColor = gpgpu_pack_float32(result);
+}

@@ -1,0 +1,59 @@
+precision highp float;
+// GPGPU kernel 'scale_int32' (generated)
+varying vec2 v_coord;
+uniform vec2 u_out_size;
+uniform sampler2D u_tex_x;
+uniform vec2 u_size_x;
+
+float gpgpu_byte(float channel) {
+    return floor(channel * 255.0 + 0.5);
+}
+
+vec4 gpgpu_bytes(vec4 texel) {
+    return floor(texel * 255.0 + vec4(0.5));
+}
+
+
+vec2 gpgpu_index_to_coord(float index, vec2 size) {
+    float x = mod(index, size.x);
+    float y = floor(index / size.x);
+    return (vec2(x, y) + 0.5) / size;
+}
+
+float gpgpu_coord_to_index(vec2 coord, vec2 size) {
+    vec2 p = floor(coord * size);
+    return p.y * size.x + p.x;
+}
+
+
+float gpgpu_unpack_int(vec4 texel) {
+    vec4 b = gpgpu_bytes(texel);
+    float low = b.r + b.g * 256.0 + b.b * 65536.0;
+    float hi = b.a < 128.0 ? b.a : b.a - 256.0;
+    return low + hi * 16777216.0;
+}
+
+vec4 gpgpu_pack_int(float value) {
+    float v = floor(value + 0.5);
+    float low = v < 0.0 ? v + 16777216.0 : v;
+    vec4 b;
+    b.r = mod(low, 256.0);
+    b.g = mod(floor(low / 256.0), 256.0);
+    b.b = mod(floor(low / 65536.0), 256.0);
+    b.a = v < 0.0 ? 255.0 : mod(floor(v / 16777216.0), 256.0);
+    return b / 255.0;
+}
+
+float fetch_x(float index) {
+    vec2 coord = gpgpu_index_to_coord(index, u_size_x);
+    return gpgpu_unpack_int(texture2D(u_tex_x, coord));
+}
+void main() {
+    float gpgpu_index = gpgpu_coord_to_index(v_coord, u_out_size);
+    float x = fetch_x(gpgpu_index);
+    float result = 0.0;
+    {
+        result = x * 3.0;
+    }
+    gl_FragColor = gpgpu_pack_int(result);
+}

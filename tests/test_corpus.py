@@ -1,0 +1,71 @@
+"""Golden corpus tests: every pinned shader must agree with its stored
+framebuffer AND survive the three-way differential oracle."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.testing.corpus import (
+    DEFAULT_CORPUS_DIR,
+    build_entries,
+    check_entry,
+    format_framebuffer,
+    parse_framebuffer,
+)
+
+ENTRIES = build_entries()
+
+
+def test_corpus_covers_expected_shaders():
+    names = {entry.name for entry in ENTRIES}
+    assert "copy" in names
+    assert "saxpy" in names
+    assert "scale_int32" in names
+    # identity kernel for every §IV format
+    for fmt in ("uint8", "int8", "uint16", "int16",
+                "uint32", "int32", "float16", "float32"):
+        assert f"identity_{fmt}" in names
+
+
+def test_golden_files_exist():
+    for entry in ENTRIES:
+        assert (DEFAULT_CORPUS_DIR / f"{entry.name}.glsl").is_file(), \
+            f"missing golden source for {entry.name} (run --regen)"
+        assert (DEFAULT_CORPUS_DIR / f"{entry.name}.expected").is_file(), \
+            f"missing golden framebuffer for {entry.name} (run --regen)"
+
+
+def test_framebuffer_text_round_trip():
+    rng = np.random.default_rng(0)
+    fb = rng.integers(0, 256, size=(4, 4, 4), dtype=np.uint8)
+    assert np.array_equal(parse_framebuffer(format_framebuffer(fb)), fb)
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[entry.name for entry in ENTRIES]
+)
+def test_entry_matches_golden_and_oracle(entry):
+    stored = (DEFAULT_CORPUS_DIR / f"{entry.name}.glsl").read_text()
+    assert stored == entry.fragment, (
+        f"{entry.name}: stored source out of date (run "
+        f"python -m repro.testing.corpus --regen if intentional)"
+    )
+    result = check_entry(entry)
+    assert result.ok, result.describe()
+    expected = parse_framebuffer(
+        (DEFAULT_CORPUS_DIR / f"{entry.name}.expected").read_text()
+    )
+    assert np.array_equal(result.framebuffer, expected), (
+        f"{entry.name}: framebuffer changed relative to the golden "
+        f"corpus (run --regen if intentional)"
+    )
+
+
+def test_goldens_are_not_trivially_black():
+    # Regression guard for the incomplete-texture pitfall: at least the
+    # copy shader's golden must contain non-black texels.
+    expected = parse_framebuffer(
+        (DEFAULT_CORPUS_DIR / "copy.expected").read_text()
+    )
+    assert expected[:, :, :3].any()

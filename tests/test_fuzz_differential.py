@@ -1,0 +1,147 @@
+"""Differential-fuzzing tests (repro.testing).
+
+Tier 1 runs a small smoke campaign plus the injected-bug self-test;
+the full 500-program campaign of the acceptance criterion is marked
+``slow`` and runs in CI / on demand (``pytest -m slow``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.testing import (
+    GeneratorConfig,
+    generate_program,
+    inject_eq2_off_by_one,
+    reference_quantize,
+    run_differential,
+    shrink_source,
+)
+from repro.testing.fuzz import fuzz, program_rng, shrink_failure
+
+
+class _Null:
+    def write(self, *_args):
+        return None
+
+
+NULL = _Null()
+
+
+class TestGenerator:
+    def test_deterministic_in_seed(self):
+        a = generate_program(program_rng(7, 3))
+        b = generate_program(program_rng(7, 3))
+        assert a == b
+
+    def test_distinct_across_indices(self):
+        sources = {generate_program(program_rng(0, i)) for i in range(10)}
+        assert len(sources) > 1
+
+    def test_generated_programs_compile(self):
+        from repro.glsl import compile_shader
+
+        for i in range(10):
+            source = generate_program(program_rng(1, i))
+            compile_shader(source, "fragment")  # must not raise
+
+
+@pytest.mark.fuzz
+class TestDifferentialSmoke:
+    def test_smoke_campaign(self):
+        # A small always-on slice of the nightly campaign.
+        assert fuzz(25, 0, out=NULL) == 0
+
+    def test_other_quantization_mode(self):
+        assert fuzz(5, 11, quantization="floor", out=NULL) == 0
+
+    def test_textured_shader_differential(self):
+        rgba = np.arange(64, dtype=np.uint8).reshape(4, 4, 4) * 3
+        result = run_differential(
+            "precision highp float;\n"
+            "varying vec2 v_uv;\n"
+            "uniform sampler2D u_tex;\n"
+            "void main() {\n"
+            "  gl_FragColor = texture2D(u_tex, v_uv);\n"
+            "}\n",
+            textures={"u_tex": rgba},
+        )
+        assert result.ok, result.describe()
+
+
+@pytest.mark.fuzz
+class TestInjectedBug:
+    """The harness must catch a deliberately broken eq. (2) quantiser
+    and shrink the witness to a tiny reproducer."""
+
+    def test_injection_detected(self):
+        with inject_eq2_off_by_one():
+            divergences = fuzz(20, 0, do_shrink=False, keep_going=True,
+                               out=NULL)
+        assert divergences > 0
+
+    def test_injection_shrinks_to_small_reproducer(self):
+        failing = None
+        with inject_eq2_off_by_one():
+            for i in range(20):
+                source = generate_program(program_rng(0, i))
+                if not run_differential(source).ok:
+                    failing = source
+                    break
+            assert failing is not None
+            reduced = shrink_failure(failing)
+        assert reduced.count("\n") + 1 <= 15
+        # The reduced program must still fail under injection and pass
+        # without it.
+        with inject_eq2_off_by_one():
+            assert not run_differential(reduced).ok
+        assert run_differential(reduced).ok
+
+    def test_reference_quantize_disagrees_under_injection(self):
+        # Unit-level view of the same property: the oracle quantiser is
+        # independent of the pipeline's.
+        from repro.gles2 import pipeline
+
+        with inject_eq2_off_by_one():
+            got = pipeline.quantize_color(np.array([1.0]), "round")[0]
+        assert got != reference_quantize(1.0, "round")
+        assert reference_quantize(1.0, "round") == 255
+        assert reference_quantize(0.0, "round") == 0
+
+
+class TestShrinker:
+    def test_shrinks_to_minimal_witness(self):
+        source = (
+            "precision highp float;\n"
+            "varying vec2 v_uv;\n"
+            "void main() {\n"
+            "  float a = 0.25;\n"
+            "  float b = a + v_uv.x;\n"
+            "  float unused = sin(b) * 3.0;\n"
+            "  gl_FragColor = vec4(b, a, unused, 1.0);\n"
+            "}\n"
+        )
+
+        def contains_addition(candidate: str) -> bool:
+            from repro.glsl import compile_shader
+            from repro.glsl.errors import GlslError
+
+            try:
+                compile_shader(candidate, "fragment")
+            except GlslError:
+                return False
+            return "+" in candidate
+
+        reduced = shrink_source(source, contains_addition)
+        assert contains_addition(reduced)
+        assert len(reduced) < len(source)
+
+    def test_non_failing_input_returned_unchanged(self):
+        source = "void main() { gl_FragColor = vec4(1.0); }"
+        assert shrink_source(source, lambda _c: False) == source
+
+
+@pytest.mark.fuzz
+@pytest.mark.slow
+class TestAcceptanceCampaign:
+    def test_500_programs_seed_0(self):
+        assert fuzz(500, 0, out=NULL) == 0

@@ -159,3 +159,38 @@ class TestConditionals:
     def test_predefined_injection(self):
         result = preprocess("#ifdef EXTRA\nfloat a;\n#endif", predefined={"EXTRA": "1"})
         assert "float a;" in result.source
+
+
+class TestErrorPaths:
+    """Directive error paths the differential harness relies on: a
+    malformed program must fail loudly in *every* consumer, never
+    silently produce different token streams."""
+
+    def test_unterminated_if_numeric(self):
+        with pytest.raises(GlslPreprocessorError):
+            preprocess("#if 1\nfloat a;")
+
+    def test_unterminated_nested_if(self):
+        with pytest.raises(GlslPreprocessorError):
+            preprocess("#ifdef A\n#ifdef B\n#endif\nfloat a;")
+
+    def test_unknown_directive_names_the_directive(self):
+        with pytest.raises(GlslPreprocessorError, match="frobnicate"):
+            preprocess("#frobnicate on")
+
+    def test_macro_redefinition_with_different_body_rejected(self):
+        with pytest.raises(GlslPreprocessorError, match="redefined"):
+            preprocess("#define N 4\n#define N 5\n")
+
+    def test_macro_redefinition_function_vs_object_rejected(self):
+        with pytest.raises(GlslPreprocessorError, match="redefined"):
+            preprocess("#define F 1\n#define F(x) x\n")
+
+    def test_identical_redefinition_allowed(self):
+        # Spec §3.4: redefinition with an identical token sequence is OK.
+        result = preprocess("#define N 4\n#define N 4\nfloat a[N];")
+        assert "float a[4];" in result.source
+
+    def test_redefinition_after_undef_allowed(self):
+        result = preprocess("#define N 4\n#undef N\n#define N 5\nfloat a[N];")
+        assert "float a[5];" in result.source

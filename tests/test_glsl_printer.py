@@ -135,3 +135,64 @@ class TestPrinterAfterOptimizer:
         )
         roundtrip(source.fragment)
         roundtrip(source.vertex)
+
+
+class TestStructuralRoundTrip:
+    """parse -> print -> parse must reproduce the identical AST (not
+    just a textual fixed point): the shrinker and the golden corpus
+    both assume printed sources mean exactly what the tree meant."""
+
+    SOURCES = [
+        "void main() { gl_FragColor = vec4(1.0, 0.5, 0.25, 1.0); }",
+        (
+            "precision highp float;\n"
+            "varying vec2 v_uv;\n"
+            "uniform sampler2D u_t;\n"
+            "float helper(float x, out float y) {\n"
+            "    y = fract(x);\n"
+            "    for (int i = 0; i < 4; i++) {\n"
+            "        if (x > 0.5) { break; } else { x += 0.125; }\n"
+            "    }\n"
+            "    return x * 2.0;\n"
+            "}\n"
+            "void main() {\n"
+            "    float aux = 0.0;\n"
+            "    mat3 m = mat3(1.0);\n"
+            "    vec3 v = m * vec3(v_uv, helper(v_uv.x, aux));\n"
+            "    gl_FragColor = texture2D(u_t, v.xy) + vec4(aux);\n"
+            "}\n"
+        ),
+        (
+            "struct Light { vec3 dir; float power; };\n"
+            "uniform Light u_light;\n"
+            "void main() {\n"
+            "    float a[3];\n"
+            "    a[0] = u_light.power;\n"
+            "    int j = 1;\n"
+            "    gl_FragColor = vec4(a[j], -a[0], float(j != 2), 1.0);\n"
+            "}\n"
+        ),
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_reparse_yields_identical_ast(self, source):
+        first = parse(source)
+        second = parse(print_unit(first))
+        assert ast.structurally_equal(first, second)
+
+    def test_structurally_equal_detects_differences(self):
+        a = parse("void main() { x = 1.0; }")
+        b = parse("void main() { x = 2.0; }")
+        assert not ast.structurally_equal(a, b)
+
+    def test_generated_fuzz_programs_roundtrip_structurally(self):
+        import random
+
+        from repro.testing import generate_program
+        from repro.glsl.preprocessor import preprocess
+
+        for i in range(5):
+            source = generate_program(random.Random(f"printer:{i}"))
+            first = parse(preprocess(source).source)
+            second = parse(print_unit(first))
+            assert ast.structurally_equal(first, second)

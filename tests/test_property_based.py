@@ -8,7 +8,7 @@ over adversarial inputs rather than fixed examples.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.numerics import (
@@ -41,8 +41,7 @@ from repro.core.numerics import (
 from repro.core.api.buffer import texture_shape
 from repro.gles2.precision import mantissa_agreement_bits, truncate_mantissa
 
-settings.register_profile("repro", max_examples=50, deadline=None)
-settings.load_profile("repro")
+# Hypothesis profiles ("ci"/"dev") are registered in conftest.py.
 
 uint8_arrays = st.lists(
     st.integers(0, 255), min_size=1, max_size=64
