@@ -9,7 +9,7 @@ test:
 	pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python benchmarks/perf_smoke.py
 
 bench-full:
 	pytest benchmarks/

@@ -20,10 +20,11 @@ from ..codegen.templates import (
     COPY_FRAGMENT_SHADER,
     FULLSCREEN_QUAD_VERTICES,
     PASSTHROUGH_VERTEX_SHADER,
+    generate_kernel_source,
 )
 from .buffer import GpuArray
 from .errors import GpgpuError, ShaderBuildError
-from .kernel import Kernel, MultiOutputKernel
+from .kernel import Kernel, MultiOutputKernel, program_cache_key
 
 
 class GpgpuDevice:
@@ -40,6 +41,10 @@ class GpgpuDevice:
         ``"floor"`` (the paper's printed eq. (2)).
     machine:
         GPU timing parameters for :meth:`wall_time`.
+    execution_backend:
+        ``"ast"`` (reference tree-walking interpreter) or ``"ir"``
+        (compiled linear-IR executor, bit-identical and faster on
+        repeated launches).
     """
 
     def __init__(
@@ -49,6 +54,7 @@ class GpgpuDevice:
         machine: GpuParameters = VIDEOCORE_IV_GPU,
         strict_errors: bool = True,
         max_loop_iterations: int = 65536,
+        execution_backend: str = "ast",
     ):
         self.ctx = GLES2Context(
             width=1,
@@ -57,8 +63,14 @@ class GpgpuDevice:
             quantization=quantization,
             strict_errors=strict_errors,
             max_loop_iterations=max_loop_iterations,
+            execution_backend=execution_backend,
         )
         self.machine = machine
+        #: Kernel objects memoised on their program-cache key.
+        self._kernel_cache: Dict[Tuple[str, str], Kernel] = {}
+        #: How many kernel() calls were served from the cache (full
+        #: compile + link skipped) — asserted by tests.
+        self.kernel_cache_hits = 0
         #: The array whose texture is attached to the currently bound
         #: FBO with freshly rendered contents (challenge 7 tracking).
         self.fb_resident: Optional[GpuArray] = None
@@ -135,11 +147,29 @@ class GpgpuDevice:
         mode: str = "map",
         preamble: str = "",
     ) -> Kernel:
-        """Create and compile a single-output kernel."""
-        return Kernel(
-            self, name, inputs, output, body,
-            uniforms=uniforms, mode=mode, preamble=preamble,
+        """Create and compile a single-output kernel.
+
+        Kernels are memoised on their program-cache key (the hash of
+        the generated vertex + fragment sources): a second request for
+        the same computation returns the already-compiled Kernel
+        object and bumps :attr:`kernel_cache_hits`."""
+        source = generate_kernel_source(
+            name=name,
+            inputs=inputs,
+            output_format=output,
+            body=body,
+            uniforms=uniforms,
+            mode=mode,
+            preamble=preamble,
         )
+        key = program_cache_key(source.vertex, source.fragment)
+        cached = self._kernel_cache.get(key)
+        if cached is not None:
+            self.kernel_cache_hits += 1
+            return cached
+        kernel = Kernel.from_source(self, name, inputs, output, source)
+        self._kernel_cache[key] = kernel
+        return kernel
 
     def vertex_kernel(
         self,

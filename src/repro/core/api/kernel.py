@@ -11,6 +11,7 @@ framebuffer, with inputs bound as textures.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,6 +26,21 @@ from ..codegen.templates import (
 from ..numerics.formats import get_format
 from .buffer import GpuArray
 from .errors import GpgpuError, ShaderBuildError
+
+
+def program_cache_key(vertex_source: str, fragment_source: str) -> Tuple[str, str]:
+    """The source-hash half of the program-cache key.
+
+    Two kernels with the same key compile to the same GL program; the
+    other half of the full key — the device float/precision model — is
+    applied downstream (the gles2 front-end cache shares the
+    ``CheckedShader`` per source hash, and
+    :func:`repro.glsl.ir.get_compiled` memoises the compiled IR per
+    float model on it)."""
+    return (
+        hashlib.sha1(vertex_source.encode("utf-8")).hexdigest(),
+        hashlib.sha1(fragment_source.encode("utf-8")).hexdigest(),
+    )
 
 
 class Kernel:
@@ -79,6 +95,7 @@ class Kernel:
     def _bind_program(self) -> None:
         """Compile/link the generated sources and cache locations."""
         device = self.device
+        self.cache_key = program_cache_key(self.source.vertex, self.source.fragment)
         self.program = device.build_program(self.source.vertex, self.source.fragment)
         ctx = device.ctx
         self._position_location = ctx.glGetAttribLocation(self.program, "a_position")

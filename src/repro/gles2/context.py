@@ -54,13 +54,22 @@ class GLES2Context:
         limits: DeviceLimits = VIDEOCORE_IV_LIMITS,
         strict_errors: bool = True,
         max_loop_iterations: int = 65536,
+        execution_backend: str = "ast",
     ):
         if isinstance(float_model, str):
             float_model = make_model(float_model)
+        if execution_backend not in ("ast", "ir"):
+            raise ValueError(
+                f"unknown execution backend '{execution_backend}' "
+                "(expected 'ast' or 'ir')"
+            )
         self.float_model = float_model
         self.quantization = quantization
         self.limits = limits
         self.max_loop_iterations = max_loop_iterations
+        #: How shaders run: "ast" walks the typed AST (reference
+        #: semantics), "ir" executes the compiled linear IR.
+        self.execution_backend = execution_backend
         self.error_state = ErrorState(strict=strict_errors)
         self.stats = ContextStats()
 
@@ -1019,6 +1028,7 @@ class GLES2Context:
             resolve_sampler,
             quantization=self.quantization,
             max_loop_iterations=self.max_loop_iterations,
+            execution_backend=self.execution_backend,
         )
         self.stats.draws.append(stats)
 

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..glsl.interp import Interpreter
+from ..glsl.ir import IRExecutor
 from ..glsl.values import Value
 from ..perf.counters import DrawStats, OpCounters
 from . import enums, raster
@@ -175,9 +176,23 @@ def execute_draw(
     resolve_sampler,
     quantization: str = "round",
     max_loop_iterations: int = 65536,
+    execution_backend: str = "ast",
 ) -> DrawStats:
     """Run the full pipeline for one draw call, writing into
-    ``color_buffer`` (an (H, W, 4) uint8 array) in place."""
+    ``color_buffer`` (an (H, W, 4) uint8 array) in place.
+
+    ``execution_backend`` selects how shaders run: ``"ast"`` walks the
+    typed AST (the reference vectorised semantics), ``"ir"`` executes
+    the compiled linear IR (bit-identical, cached per shader)."""
+    if execution_backend == "ir":
+        shader_executor = IRExecutor
+    elif execution_backend == "ast":
+        shader_executor = Interpreter
+    else:
+        raise ValueError(
+            f"unknown execution backend '{execution_backend}' "
+            "(expected 'ast' or 'ir')"
+        )
     stats = DrawStats()
     if index_stream.size == 0:
         return stats
@@ -209,7 +224,7 @@ def execute_draw(
         vs_presets[symbol.name] = Value(gtype, data)
 
     vertex_count = max_index + 1
-    vs_interp = Interpreter(
+    vs_interp = shader_executor(
         program.vertex,
         float_model=float_model,
         counters=stats.vertex_ops,
@@ -274,7 +289,7 @@ def execute_draw(
         _VEC2, np.zeros((batch.count, 2), dtype=float_model.dtype)
     )
 
-    fs_interp = Interpreter(
+    fs_interp = shader_executor(
         program.fragment,
         float_model=float_model,
         counters=stats.fragment_ops,

@@ -2,7 +2,13 @@
 
 ``Shader`` wraps the GLSL front end: ``glCompileShader`` runs the
 preprocessor, parser and type checker and produces a driver-style info
-log on failure.  ``Program`` links a vertex + fragment pair: varyings
+log on failure.  Successful compiles are memoised in a module-level
+front-end cache keyed by (stage, source hash): recompiling identical
+source — e.g. relaunching the same GPGPU kernel — returns the cached
+``CheckedShader`` without touching the front end, and because the IR
+compile cache (:func:`repro.glsl.ir.get_compiled`) hangs off the
+``CheckedShader`` object itself, the lowered program artifact is
+shared too.  ``Program`` links a vertex + fragment pair: varyings
 are matched by name and type, uniforms from both stages are merged and
 flattened into locations (including struct members and arrays, with
 ``glGetUniformLocation("s.field[3]")`` syntax), and attribute
@@ -11,6 +17,7 @@ locations are assigned (respecting ``glBindAttribLocation``).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -24,6 +31,31 @@ from ..glsl.typecheck import CheckedShader, ShaderStage, check
 from ..glsl.types import BaseType, GlslType, TypeKind
 from ..glsl.values import INT_DTYPE, Value
 from . import enums
+
+
+#: (stage, sha1(source)) -> CheckedShader for successful compiles.
+#: Failures are never cached so the info log is regenerated each time.
+_FRONTEND_CACHE: Dict[Tuple[str, str], CheckedShader] = {}
+_FRONTEND_CACHE_MAX = 256
+
+#: Mutable hit/miss tally for the front-end cache, exposed for tests
+#: and the perf harness.
+frontend_cache_stats = {"hits": 0, "misses": 0}
+
+
+def frontend_cache_key(stage: str, source: str) -> Tuple[str, str]:
+    """The program-cache key: (stage, source hash).  The second half of
+    the full key — the float/precision model — is applied downstream by
+    :func:`repro.glsl.ir.get_compiled`, which memoises per model on the
+    CheckedShader this cache returns."""
+    return (stage, hashlib.sha1(source.encode("utf-8")).hexdigest())
+
+
+def clear_frontend_cache() -> None:
+    """Drop all cached front-end artifacts and reset the tally."""
+    _FRONTEND_CACHE.clear()
+    frontend_cache_stats["hits"] = 0
+    frontend_cache_stats["misses"] = 0
 
 
 class Shader:
@@ -45,15 +77,26 @@ class Shader:
         return ShaderStage.FRAGMENT
 
     def compile(self) -> None:
-        """glCompileShader: run the full front end."""
+        """glCompileShader: run the full front end (or hit the cache)."""
         self.compiled = False
         self.checked = None
         self.info_log = ""
+        key = frontend_cache_key(self.stage, self.source)
+        cached = _FRONTEND_CACHE.get(key)
+        if cached is not None:
+            frontend_cache_stats["hits"] += 1
+            self.checked = cached
+            self.compiled = True
+            return
+        frontend_cache_stats["misses"] += 1
         try:
             preprocessed = preprocess(self.source)
             unit = optimize(parse(preprocessed.source))
             self.checked = check(unit, self.stage)
             self.compiled = True
+            if len(_FRONTEND_CACHE) >= _FRONTEND_CACHE_MAX:
+                _FRONTEND_CACHE.clear()
+            _FRONTEND_CACHE[key] = self.checked
         except GlslError as exc:
             self.info_log = exc.info_log_entry() + "\n"
 

@@ -654,8 +654,11 @@ class Interpreter:
     def _eval_builtin(self, expr: ast.Call) -> Value:
         overload = bi.OVERLOADS_BY_KEY[expr.resolved_signature]
         args = [self.eval(a) for a in expr.args]
-        out_type = expr.resolved_type
+        return self._apply_builtin(overload, args, expr.resolved_type)
 
+    def _apply_builtin(self, overload, args: List[Value], out_type: GlslType) -> Value:
+        """Apply one builtin overload to already-evaluated argument
+        Values (shared with the IR executor)."""
         if overload.name in bi.TEXTURE_BUILTINS:
             return self._eval_texture(overload, args, out_type)
 
@@ -707,7 +710,11 @@ class Interpreter:
     def _eval_constructor(self, expr: ast.Call) -> Value:
         target = expr.constructed_type
         args = [self.eval(a) for a in expr.args]
+        return self._construct(target, args)
 
+    def _construct(self, target: GlslType, args: List[Value]) -> Value:
+        """Apply a constructor to already-evaluated argument Values
+        (shared with the IR executor)."""
         if target.is_struct():
             fields = {}
             for (fname, __), arg in zip(target.fields, args):

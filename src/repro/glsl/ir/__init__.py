@@ -1,0 +1,78 @@
+"""``repro.glsl.ir`` — linear register IR for compiled GLSL shaders.
+
+Pipeline: :func:`~repro.glsl.ir.lower.lower_shader` turns a
+:class:`~repro.glsl.typecheck.CheckedShader` into a structured
+:class:`~repro.glsl.ir.nodes.CompiledProgram`;
+:func:`~repro.glsl.ir.passes.run_passes` folds/prunes/CSEs/DCEs it;
+:class:`~repro.glsl.ir.executor.IRExecutor` flattens and runs it as a
+drop-in, bit-identical replacement for the AST tree walker.
+
+:func:`get_compiled` is the cached front door: compiled artifacts are
+memoised per (float model, dtype) on the CheckedShader itself, so
+repeated draws — and repeated kernels compiled from identical source —
+skip lowering and the pass pipeline entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cost import StaticCost, static_cost
+from .executor import IRExecutor, flatten_program
+from .lower import Lowerer, lower_shader
+from .nodes import CompiledProgram, Instr, dump_ir
+from .passes import run_passes
+
+__all__ = [
+    "CompiledProgram",
+    "IRExecutor",
+    "Instr",
+    "Lowerer",
+    "StaticCost",
+    "compile_ir",
+    "dump_ir",
+    "flatten_program",
+    "get_compiled",
+    "lower_shader",
+    "run_passes",
+    "static_cost",
+]
+
+
+def _model_key(fmodel) -> tuple:
+    return (getattr(fmodel, "name", fmodel.__class__.__name__),
+            np.dtype(fmodel.dtype).str)
+
+
+def compile_ir(checked, fmodel=None) -> CompiledProgram:
+    """Lower + optimise one shader for one float model (uncached)."""
+    from ..interp import _ExactModel
+
+    fmodel = fmodel or _ExactModel()
+    program = lower_shader(checked)
+    run_passes(program, fmodel)
+    return program
+
+
+def get_compiled(checked, fmodel=None) -> CompiledProgram:
+    """Cached compile: one artifact per (shader, float model, dtype).
+
+    The cache lives on the CheckedShader object, so it shares the
+    lifetime of the front-end artifact (and of the gles2 shader cache
+    that holds on to it)."""
+    from ..interp import _ExactModel
+
+    fmodel = fmodel or _ExactModel()
+    cache = getattr(checked, "_ir_cache", None)
+    if cache is None:
+        cache = {}
+        try:
+            checked._ir_cache = cache
+        except AttributeError:  # frozen/slotted shader object
+            return compile_ir(checked, fmodel)
+    key = _model_key(fmodel)
+    program = cache.get(key)
+    if program is None:
+        program = compile_ir(checked, fmodel)
+        cache[key] = program
+    return program

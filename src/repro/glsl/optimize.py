@@ -1,231 +1,24 @@
-"""AST optimisation passes: constant folding and static branch pruning.
+"""AST optimisation entry point (compatibility shim).
 
-Runs between parsing and type checking (purely syntactic, no symbol
-information needed) — the same early folding a mobile GLSL compiler
-performs.  Two transformations:
+The constant-folding / static-branch-pruning walk that used to live
+here is now the front half of the IR pass pipeline —
+:mod:`repro.glsl.ir.foldrules` — where it runs before type checking,
+ahead of the typed abstract-execution folding, select-conversion, CSE
+and DCE passes in :mod:`repro.glsl.ir.passes` that subsume everything
+else this module used to do.
 
-* **constant folding** — arithmetic, comparisons and logic over
-  literals collapse to literals (``2.0 * 3.0`` → ``6.0``); unary
-  minus/plus/not over literals fold too.  Division keeps GLSL
-  semantics: int/int truncates toward zero, folding is skipped on
-  division by a literal zero (left for the runtime's defined-as-zero
-  behaviour and the checker's diagnostics).
-* **branch pruning** — ``if (true)``/``if (false)`` statements and
-  constant ternaries reduce to the taken branch.  Pruned-away code is
-  never type-checked, matching how drivers treat ``#ifdef``-style
-  constant guards.
-
-Folding is conservative: anything with potential side effects or
-non-literal operands is left untouched.
+:func:`optimize` keeps its historical signature and in-place folding
+behaviour so existing imports and tests keep working.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 from . import ast_nodes as ast
+from .ir.foldrules import fold_unit
 
 
 def optimize(unit: ast.TranslationUnit) -> ast.TranslationUnit:
-    """Fold constants and prune static branches in place."""
-    for decl in unit.declarations:
-        if isinstance(decl, ast.FunctionDef) and decl.body is not None:
-            decl.body = _fold_stmt(decl.body)
-        elif isinstance(decl, ast.GlobalDecl):
-            for declarator in decl.declarators:
-                if declarator.initializer is not None:
-                    declarator.initializer = _fold_expr(declarator.initializer)
-                if declarator.array_size is not None:
-                    declarator.array_size = _fold_expr(declarator.array_size)
-    return unit
+    """Fold constants and prune static branches in place.
 
-
-# ----------------------------------------------------------------------
-# Statements
-# ----------------------------------------------------------------------
-def _fold_stmt(stmt: ast.Stmt) -> ast.Stmt:
-    if isinstance(stmt, ast.CompoundStmt):
-        stmt.statements = [_fold_stmt(s) for s in stmt.statements]
-        return stmt
-    if isinstance(stmt, ast.DeclStmt):
-        for declarator in stmt.declarators:
-            if declarator.initializer is not None:
-                declarator.initializer = _fold_expr(declarator.initializer)
-            if declarator.array_size is not None:
-                declarator.array_size = _fold_expr(declarator.array_size)
-        return stmt
-    if isinstance(stmt, ast.ExprStmt):
-        stmt.expr = _fold_expr(stmt.expr)
-        return stmt
-    if isinstance(stmt, ast.IfStmt):
-        stmt.condition = _fold_expr(stmt.condition)
-        stmt.then_branch = _fold_stmt(stmt.then_branch)
-        if stmt.else_branch is not None:
-            stmt.else_branch = _fold_stmt(stmt.else_branch)
-        if isinstance(stmt.condition, ast.BoolLiteral):
-            if stmt.condition.value:
-                return stmt.then_branch
-            if stmt.else_branch is not None:
-                return stmt.else_branch
-            return ast.CompoundStmt(line=stmt.line)
-        return stmt
-    if isinstance(stmt, ast.ForStmt):
-        if stmt.init is not None:
-            stmt.init = _fold_stmt(stmt.init)
-        if stmt.condition is not None:
-            stmt.condition = _fold_expr(stmt.condition)
-        if stmt.update is not None:
-            stmt.update = _fold_expr(stmt.update)
-        stmt.body = _fold_stmt(stmt.body)
-        return stmt
-    if isinstance(stmt, ast.WhileStmt):
-        stmt.condition = _fold_expr(stmt.condition)
-        stmt.body = _fold_stmt(stmt.body)
-        # while(false) never executes.
-        if isinstance(stmt.condition, ast.BoolLiteral) and not stmt.condition.value:
-            return ast.CompoundStmt(line=stmt.line)
-        return stmt
-    if isinstance(stmt, ast.DoWhileStmt):
-        stmt.body = _fold_stmt(stmt.body)
-        stmt.condition = _fold_expr(stmt.condition)
-        return stmt
-    if isinstance(stmt, ast.ReturnStmt):
-        if stmt.value is not None:
-            stmt.value = _fold_expr(stmt.value)
-        return stmt
-    return stmt
-
-
-# ----------------------------------------------------------------------
-# Expressions
-# ----------------------------------------------------------------------
-def _literal_value(expr: ast.Expr):
-    if isinstance(expr, (ast.IntLiteral, ast.FloatLiteral, ast.BoolLiteral)):
-        return expr.value
-    return None
-
-
-def _make_literal(value, template: ast.Expr) -> Optional[ast.Expr]:
-    line = template.line
-    if isinstance(value, bool):
-        return ast.BoolLiteral(value=value, line=line)
-    if isinstance(value, int):
-        if not -(2**31) <= value < 2**31:
-            return None  # would overflow int32: leave unfolded
-        return ast.IntLiteral(value=value, line=line)
-    if isinstance(value, float):
-        return ast.FloatLiteral(value=value, line=line)
-    return None
-
-
-def _fold_expr(expr: ast.Expr) -> ast.Expr:
-    if isinstance(expr, ast.UnaryOp):
-        expr.operand = _fold_expr(expr.operand)
-        value = _literal_value(expr.operand)
-        if value is not None:
-            if expr.op == "-" and not isinstance(value, bool):
-                folded = _make_literal(-value, expr)
-                if folded is not None:
-                    return folded
-            if expr.op == "+" and not isinstance(value, bool):
-                return expr.operand
-            if expr.op == "!" and isinstance(value, bool):
-                return ast.BoolLiteral(value=not value, line=expr.line)
-        return expr
-
-    if isinstance(expr, ast.BinaryOp):
-        expr.left = _fold_expr(expr.left)
-        expr.right = _fold_expr(expr.right)
-        left = _literal_value(expr.left)
-        right = _literal_value(expr.right)
-        if left is None or right is None:
-            return expr
-        folded = _fold_binary(expr.op, left, right, expr)
-        return folded if folded is not None else expr
-
-    if isinstance(expr, ast.Conditional):
-        expr.condition = _fold_expr(expr.condition)
-        expr.if_true = _fold_expr(expr.if_true)
-        expr.if_false = _fold_expr(expr.if_false)
-        condition = _literal_value(expr.condition)
-        if isinstance(condition, bool):
-            return expr.if_true if condition else expr.if_false
-        return expr
-
-    if isinstance(expr, ast.Assignment):
-        expr.value = _fold_expr(expr.value)
-        # Target subexpressions (indices) can fold too.
-        expr.target = _fold_expr(expr.target)
-        return expr
-
-    if isinstance(expr, ast.Call):
-        expr.args = [_fold_expr(a) for a in expr.args]
-        return expr
-
-    if isinstance(expr, ast.FieldAccess):
-        expr.base = _fold_expr(expr.base)
-        return expr
-
-    if isinstance(expr, ast.IndexAccess):
-        expr.base = _fold_expr(expr.base)
-        expr.index = _fold_expr(expr.index)
-        return expr
-
-    if isinstance(expr, ast.CommaExpr):
-        expr.left = _fold_expr(expr.left)
-        expr.right = _fold_expr(expr.right)
-        return expr
-
-    return expr
-
-
-def _fold_binary(op: str, left, right, template: ast.Expr) -> Optional[ast.Expr]:
-    left_is_bool = isinstance(left, bool)
-    right_is_bool = isinstance(right, bool)
-
-    if op in ("&&", "||", "^^"):
-        if not (left_is_bool and right_is_bool):
-            return None
-        value = {
-            "&&": left and right,
-            "||": left or right,
-            "^^": left != right,
-        }[op]
-        return ast.BoolLiteral(value=bool(value), line=template.line)
-
-    if left_is_bool or right_is_bool:
-        if op in ("==", "!="):
-            if left_is_bool and right_is_bool:
-                value = (left == right) if op == "==" else (left != right)
-                return ast.BoolLiteral(value=value, line=template.line)
-        return None
-
-    # Numeric operands: GLSL forbids mixing int and float — leave such
-    # (ill-typed) expressions for the checker's diagnostics.
-    if isinstance(left, int) != isinstance(right, int):
-        return None
-
-    if op in ("==", "!=", "<", ">", "<=", ">="):
-        value = {
-            "==": left == right,
-            "!=": left != right,
-            "<": left < right,
-            ">": left > right,
-            "<=": left <= right,
-            ">=": left >= right,
-        }[op]
-        return ast.BoolLiteral(value=value, line=template.line)
-
-    if op == "+":
-        return _make_literal(left + right, template)
-    if op == "-":
-        return _make_literal(left - right, template)
-    if op == "*":
-        return _make_literal(left * right, template)
-    if op == "/":
-        if right == 0:
-            return None  # runtime defines this; don't fold
-        if isinstance(left, int):
-            return _make_literal(int(left / right), template)
-        return _make_literal(left / right, template)
-    return None
+    Thin shim over :func:`repro.glsl.ir.foldrules.fold_unit`."""
+    return fold_unit(unit)

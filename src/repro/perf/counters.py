@@ -1,10 +1,17 @@
-"""Dynamic operation counters.
+"""Dynamic operation counters — and their static IR projection.
 
 The GLSL interpreter reports every executed operation (per active
 lane) to an :class:`OpCounters` sink; the GLES2 context aggregates
 them per draw call (:class:`DrawStats`) and per context lifetime
 (:class:`ContextStats`).  The performance models in this package turn
 these counts into simulated wall time.
+
+:func:`static_shader_ops` is the static counterpart: it projects the
+same counter totals from the *compiled IR artifact*
+(:mod:`repro.glsl.ir`) without running the shader at all — op table ×
+invocation count.  For straight-line shaders (the paper's E1 kernels
+after select-conversion) the projection is exact; divergent control
+flow degrades it to an estimate and clears the ``exact`` flag.
 """
 
 from __future__ import annotations
@@ -54,6 +61,26 @@ class OpCounters:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"OpCounters({self.counts})"
+
+
+def static_shader_ops(checked, float_model=None, invocations=1):
+    """Static IR-cost mode: project the dynamic counter totals of one
+    shader stage from its compiled IR artifact.
+
+    Returns ``(OpCounters, exact)`` — the projected counts for a draw
+    shading ``invocations`` lanes, and whether the projection is
+    guaranteed to equal the runtime tally (no data-dependent control
+    flow survives compilation).  Lazy-imports the IR layer so the
+    counter module stays dependency-free for plain dynamic use.
+    """
+    from ..glsl.ir import get_compiled, static_cost
+
+    program = get_compiled(checked, float_model)
+    cost = static_cost(program)
+    counters = OpCounters()
+    for category, count in cost.totals(invocations).items():
+        counters.add(category, count)
+    return counters, cost.exact
 
 
 @dataclass

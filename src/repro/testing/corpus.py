@@ -16,6 +16,14 @@ Golden files::
     tests/corpus/<name>.glsl       fragment shader source
     tests/corpus/<name>.expected   "W H" header + one row of RGBA8
                                    hex texels per framebuffer row
+    tests/corpus/<name>.ir         optimised linear-IR dump of the
+                                   fragment shader (exact float model)
+
+The ``.ir`` dumps pin the *compiler*, not just the end result: an
+unintended change anywhere in lowering or the pass pipeline (constant
+folding, select conversion, frame elision, CSE, DCE) shows up as a
+textual diff against the golden dump even when the rendered output
+happens to stay the same.
 
 Regenerate after an intentional behaviour change with::
 
@@ -221,6 +229,17 @@ def render_entry(entry: CorpusEntry) -> np.ndarray:
     return framebuffer
 
 
+def ir_dump_text(entry: CorpusEntry) -> str:
+    """Compile the entry's fragment shader to optimised linear IR and
+    return the deterministic textual dump (exact float model, the
+    compile default, so dumps are independent of device precision)."""
+    from ..glsl.interp import compile_shader
+    from ..glsl.ir import compile_ir, dump_ir
+
+    checked = compile_shader(entry.fragment, "fragment")
+    return dump_ir(compile_ir(checked))
+
+
 def check_entry(entry: CorpusEntry):
     """Run one entry through the three-way differential oracle."""
     return run_differential(
@@ -242,6 +261,7 @@ def regenerate(corpus_dir: Path = DEFAULT_CORPUS_DIR) -> List[str]:
         (corpus_dir / f"{entry.name}.expected").write_text(
             format_framebuffer(render_entry(entry))
         )
+        (corpus_dir / f"{entry.name}.ir").write_text(ir_dump_text(entry))
         written.append(entry.name)
     return written
 
@@ -261,6 +281,17 @@ def verify(corpus_dir: Path = DEFAULT_CORPUS_DIR) -> List[str]:
             failures.append(
                 f"{entry.name}: stored source differs from the entry "
                 f"builder (run --regen if intentional)"
+            )
+            continue
+        ir_path = corpus_dir / f"{entry.name}.ir"
+        if not ir_path.is_file():
+            failures.append(f"{entry.name}: golden IR dump missing "
+                            f"(run --regen)")
+            continue
+        if ir_path.read_text() != ir_dump_text(entry):
+            failures.append(
+                f"{entry.name}: compiled IR differs from golden dump "
+                f"(run --regen if intentional)"
             )
             continue
         result = check_entry(entry)

@@ -1,13 +1,19 @@
 """Differential fuzz runner (CLI).
 
 Generates random GLSL ES 1.00 fragment shaders and pushes each one
-through the three-way oracle (raster pipeline / vectorised interpreter
-/ scalar reference interpreter), comparing RGBA8 outputs bit-exactly.
-On divergence the failing program is shrunk to a minimal reproducer.
+through the differential oracle (raster pipeline / vectorised AST
+interpreter / compiled IR executor / scalar reference interpreter),
+comparing outputs bit-exactly.  On divergence the failing program is
+shrunk to a minimal reproducer.
+
+``--backend`` picks the execution backends under test: ``ast`` is the
+legacy three-way oracle, ``ir`` drives the raster pipeline with the
+compiled-IR executor, ``both`` (default) cross-checks all four paths.
 
 Usage::
 
-    python -m repro.testing.fuzz --n 500 --seed 0
+    python -m repro.testing.fuzz --n 500 --seed 0 --backend both
+    python -m repro.testing.fuzz --n 200 --seed 0 --backend ir
     python -m repro.testing.fuzz --n 50 --seed 3 --inject eq2   # must fail
 
 Exit status 0 means zero divergences (or, with ``--inject``, that the
@@ -34,18 +40,22 @@ def program_rng(seed: int, index: int) -> random.Random:
 
 
 def run_one(
-    source: str, *, size: int = 4, quantization: str = "round"
+    source: str, *, size: int = 4, quantization: str = "round",
+    backend: str = "both",
 ) -> DifferentialResult:
-    return run_differential(source, size=size, quantization=quantization)
+    return run_differential(
+        source, size=size, quantization=quantization, backend=backend
+    )
 
 
-def _still_fails(size: int, quantization: str):
+def _still_fails(size: int, quantization: str, backend: str = "both"):
     """Shrink predicate: a candidate 'still fails' when it compiles
     and its differential run diverges."""
 
     def predicate(candidate: str) -> bool:
         try:
-            result = run_one(candidate, size=size, quantization=quantization)
+            result = run_one(candidate, size=size,
+                             quantization=quantization, backend=backend)
         except (GlslError, ValueError, RuntimeError):
             return False
         return not result.ok
@@ -54,9 +64,10 @@ def _still_fails(size: int, quantization: str):
 
 
 def shrink_failure(
-    source: str, *, size: int = 4, quantization: str = "round"
+    source: str, *, size: int = 4, quantization: str = "round",
+    backend: str = "both",
 ) -> str:
-    return shrink_source(source, _still_fails(size, quantization))
+    return shrink_source(source, _still_fails(size, quantization, backend))
 
 
 def fuzz(
@@ -65,6 +76,7 @@ def fuzz(
     *,
     size: int = 4,
     quantization: str = "round",
+    backend: str = "both",
     keep_going: bool = False,
     do_shrink: bool = True,
     progress_every: int = 50,
@@ -76,7 +88,8 @@ def fuzz(
     for i in range(n):
         source = generate_program(program_rng(seed, i), config)
         try:
-            result = run_one(source, size=size, quantization=quantization)
+            result = run_one(source, size=size,
+                             quantization=quantization, backend=backend)
         except GlslError as exc:
             # A generated program must always compile and execute: a
             # front-end rejection is itself a harness bug.
@@ -93,7 +106,8 @@ def fuzz(
             print(result.describe(), file=out)
             if do_shrink:
                 reduced = shrink_failure(
-                    source, size=size, quantization=quantization
+                    source, size=size, quantization=quantization,
+                    backend=backend,
                 )
                 lines = reduced.count("\n") + 1
                 print(f"--- shrunk reproducer ({lines} lines) ---", file=out)
@@ -122,6 +136,12 @@ def main(argv: Optional[list] = None) -> int:
                         help="framebuffer side length in pixels")
     parser.add_argument("--quantization", choices=("round", "floor"),
                         default="round", help="eq. (2) quantisation mode")
+    parser.add_argument("--backend", choices=("ast", "ir", "both"),
+                        default="both",
+                        help="execution backends under test: 'ast' = "
+                             "legacy three-way oracle, 'ir' = pipeline "
+                             "driven by the compiled-IR executor, "
+                             "'both' = all four paths cross-checked")
     parser.add_argument("--inject", choices=("eq2",), default=None,
                         help="deliberately inject a pipeline bug; the "
                              "run then must diverge (self-test)")
@@ -134,6 +154,7 @@ def main(argv: Optional[list] = None) -> int:
     kwargs = dict(
         size=args.size,
         quantization=args.quantization,
+        backend=args.backend,
         keep_going=args.keep_going,
         do_shrink=not args.no_shrink,
     )

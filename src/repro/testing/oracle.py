@@ -1,25 +1,31 @@
-"""The differential oracle: three independent ways to render a shader.
+"""The differential oracle: four independent ways to render a shader.
 
-For one fragment shader the oracle produces three RGBA8 framebuffers
-and demands they agree bit-for-bit:
+For one fragment shader the oracle produces up to four results and
+demands they agree bit-for-bit:
 
 A. **pipeline** — the full ``gles2`` raster path: vertex shading,
    rasterisation, varying interpolation, the vectorised fragment
    interpreter, and the pipeline's own eq. (2) quantiser.
 B. **vectorised replay** — the captured per-fragment presets replayed
-   through a *fresh* vectorised interpreter, quantised by this
+   through a *fresh* vectorised AST interpreter, quantised by this
    module's independent :func:`reference_quantize`.
 C. **scalar reference** — every fragment individually evaluated by
    :class:`repro.glsl.scalar_ref.ScalarInterpreter` (plain Python
    recursion, no numpy vectorisation), quantised by
    :func:`reference_quantize`.
+D. **compiled IR replay** — the same captured presets replayed through
+   :class:`repro.glsl.ir.IRExecutor`: lower → fold → select-convert →
+   CSE → DCE → flat instruction loop.  Selected with
+   ``backend="ir"`` / ``"both"`` on :func:`run_differential`.
 
 A≠B catches framebuffer plumbing and quantisation bugs (this is what
 flags the deliberately injected eq. (2) off-by-one); B≠C catches
 divergence between the two interpreter implementations — masking,
-broadcasting, l-value or builtin semantics.  The rasteriser itself is
-checked by asserting the fullscreen quad covers every pixel exactly
-once (top-left fill rule conformance).
+broadcasting, l-value or builtin semantics; D≠B catches any place the
+IR compile pipeline (lowering or an optimisation pass) changes
+observable semantics.  The rasteriser itself is checked by asserting
+the fullscreen quad covers every pixel exactly once (top-left fill
+rule conformance).
 """
 
 from __future__ import annotations
@@ -81,12 +87,13 @@ def reference_quantize(component: float, mode: str = "round") -> int:
 
 @dataclass
 class DifferentialResult:
-    """Outcome of one three-way differential run."""
+    """Outcome of one differential run."""
 
     ok: bool
     source: str
     #: "" when ok; otherwise which comparison failed
-    #: ("coverage", "discard", "color", "pipeline-vs-reference").
+    #: ("coverage", "discard", "color", "ir-discard", "ir-color",
+    #: "pipeline-vs-reference").
     stage: str = ""
     message: str = ""
     framebuffer: Optional[np.ndarray] = None
@@ -160,6 +167,7 @@ def draw_for_capture(
     uniforms: Optional[Dict[str, object]] = None,
     textures: Optional[Dict[str, np.ndarray]] = None,
     vertex_source: str = STANDARD_VERTEX_SHADER,
+    execution_backend: str = "ast",
 ):
     """Draw a fullscreen quad with ``fragment_source`` and capture the
     per-fragment state.  Returns ``(framebuffer, capture)``.
@@ -168,9 +176,12 @@ def draw_for_capture(
     maps sampler uniform names to (H, W, 4) uint8 arrays.
     ``vertex_source`` may replace the standard quad shader (e.g. the
     codegen pass-through shader, whose varying is ``v_coord``).
+    ``execution_backend`` selects how the pipeline itself runs the
+    shaders ("ast" or "ir").
     """
     ctx = GLES2Context(
-        width=size, height=size, float_model="exact", quantization=quantization
+        width=size, height=size, float_model="exact",
+        quantization=quantization, execution_backend=execution_backend,
     )
     vs = ctx.glCreateShader(gl.GL_VERTEX_SHADER)
     ctx.glShaderSource(vs, vertex_source)
@@ -244,9 +255,18 @@ def run_differential(
     uniforms: Optional[Dict[str, object]] = None,
     textures: Optional[Dict[str, np.ndarray]] = None,
     vertex_source: str = STANDARD_VERTEX_SHADER,
+    backend: str = "both",
 ) -> DifferentialResult:
-    """Render ``fragment_source`` through all three paths and compare
-    the resulting RGBA8 framebuffers bit-exactly."""
+    """Render ``fragment_source`` through the independent paths and
+    compare the results bit-exactly.
+
+    ``backend`` selects the execution backends under test: ``"ast"``
+    runs the legacy three-way oracle (paths A/B/C), ``"ir"`` drives the
+    raster pipeline itself with the IR executor and adds the path-D
+    replay, ``"both"`` (default) keeps the pipeline on the reference
+    AST backend and cross-checks all four paths."""
+    if backend not in ("ast", "ir", "both"):
+        raise ValueError(f"unknown backend '{backend}'")
     framebuffer, capture = draw_for_capture(
         fragment_source,
         size=size,
@@ -254,6 +274,7 @@ def run_differential(
         uniforms=uniforms,
         textures=textures,
         vertex_source=vertex_source,
+        execution_backend="ir" if backend == "ir" else "ast",
     )
 
     def fail(stage: str, message: str, mismatches=()) -> DifferentialResult:
@@ -293,6 +314,45 @@ def run_differential(
         frag_value.data.astype(np.float64), (n, 4)
     )
     discard_b = replay.discarded
+
+    # ------------------------------------------------------------------
+    # Path D: compiled-IR replay on the same captured presets.
+    # ------------------------------------------------------------------
+    if backend in ("ir", "both"):
+        from ..glsl.ir import IRExecutor
+
+        ir_replay = IRExecutor(checked)
+        ir_env = ir_replay.execute(n, _clone_presets(capture.fs_presets))
+        if "gl_FragData" in checked.written_builtins:
+            ir_value = ir_env["gl_FragData"].fields["0"]
+        else:
+            ir_value = ir_env["gl_FragColor"]
+        colors_d = np.broadcast_to(ir_value.data.astype(np.float64), (n, 4))
+        discard_d = ir_replay.discarded
+        if not np.array_equal(discard_b, discard_d):
+            lanes = np.nonzero(discard_b != discard_d)[0][:4]
+            return fail(
+                "ir-discard",
+                "AST interpreter and IR executor disagree on discard",
+                [
+                    f"  fragment ({capture.px[i]},{capture.py[i]}): "
+                    f"ast={bool(discard_b[i])} ir={bool(discard_d[i])}"
+                    for i in lanes
+                ],
+            )
+        live_d = ~discard_b
+        if not np.array_equal(colors_d[live_d], colors_b[live_d]):
+            diff = np.any(colors_d != colors_b, axis=1) & live_d
+            lanes = np.nonzero(diff)[0][:4]
+            return fail(
+                "ir-color",
+                "AST interpreter and IR executor disagree on gl_FragColor",
+                [
+                    f"  fragment ({capture.px[i]},{capture.py[i]}): "
+                    f"ast={colors_b[i].tolist()} ir={colors_d[i].tolist()}"
+                    for i in lanes
+                ],
+            )
 
     # ------------------------------------------------------------------
     # Path C: scalar reference, one fragment at a time.

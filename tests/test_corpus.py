@@ -11,6 +11,7 @@ from repro.testing.corpus import (
     build_entries,
     check_entry,
     format_framebuffer,
+    ir_dump_text,
     parse_framebuffer,
 )
 
@@ -34,6 +35,19 @@ def test_golden_files_exist():
             f"missing golden source for {entry.name} (run --regen)"
         assert (DEFAULT_CORPUS_DIR / f"{entry.name}.expected").is_file(), \
             f"missing golden framebuffer for {entry.name} (run --regen)"
+        assert (DEFAULT_CORPUS_DIR / f"{entry.name}.ir").is_file(), \
+            f"missing golden IR dump for {entry.name} (run --regen)"
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[entry.name for entry in ENTRIES]
+)
+def test_entry_matches_golden_ir(entry):
+    stored = (DEFAULT_CORPUS_DIR / f"{entry.name}.ir").read_text()
+    assert stored == ir_dump_text(entry), (
+        f"{entry.name}: compiled IR changed relative to the golden dump "
+        f"(run python -m repro.testing.corpus --regen if intentional)"
+    )
 
 
 def test_framebuffer_text_round_trip():
