@@ -1,19 +1,20 @@
-"""Wall-clock smoke benchmark: AST walker vs compiled linear IR.
+"""Wall-clock smoke benchmark: AST walker vs linear IR vs NumPy JIT.
 
 Times repeated kernel launches (the steady state the program cache is
-for) of the two paper workloads that bracket the shader-complexity
-range — the int32 ``sum`` elementwise kernel and the loop-heavy
-``sgemm`` — under both execution backends, and records the results in
-``BENCH_glsl_exec.json`` at the repository root.
+for) of the paper workloads that bracket the shader-complexity range —
+the int32 ``sum`` elementwise kernel and the loop-heavy ``sgemm`` at
+two sizes — under all three execution backends, and records the
+results in ``BENCH_glsl_exec.json`` at the repository root.
 
 The sum microbenchmark runs in the dispatch-bound regime (small batch,
-many launches), which is where interpreter overhead — the thing the IR
-backend removes — dominates; at very large batches both backends
-converge on the same numpy bulk work.  The script also demonstrates the
-two cache layers: a second ``device.kernel()`` request for the same
-source is served from the kernel cache (no recompile, no relink), and
-repeated launches never re-lower the shader (the compiled program is
-cached on the CheckedShader).
+many launches), which is where interpreter overhead — the thing the
+compiled backends remove — dominates; at very large batches all
+backends converge on the same numpy bulk work.  The script also
+demonstrates the two cache layers: a second ``device.kernel()``
+request for the same source is served from the kernel cache (no
+recompile, no relink), and repeated launches never re-lower the shader
+(the compiled program, and the JIT's generated function, are cached on
+the CheckedShader).
 
 Run from the repository root::
 
@@ -35,8 +36,10 @@ from repro.core.api.device import GpgpuDevice
 from repro.kernels.elementwise import make_sum_kernel
 from repro.kernels.sgemm import make_sgemm_kernel
 
+BACKENDS = ("ast", "ir", "jit")
 SUM_N = 512  # dispatch-bound: launch overhead, not numpy bulk work
 SGEMM_N = 8  # 8x8 matrices, 8-iteration dot-product loop per fragment
+SGEMM_N_LARGE = 16  # 16x16: more per-fragment loop work, same dispatch
 REPS = 50
 WARMUP = 5
 
@@ -67,6 +70,22 @@ def _time_interleaved(launches, reps=REPS, warmup=WARMUP):
     }
 
 
+def _cache_stats(stats, backend, dev, request_again, launch):
+    """Cache behaviour: an identical kernel request is a cache hit,
+    and relaunching triggers no further compiles or links."""
+    compiles_before = dev.ctx.stats.shader_compiles
+    links_before = dev.ctx.stats.program_links
+    request_again()
+    launch()
+    stats[backend]["kernel_cache_hits"] = dev.kernel_cache_hits
+    stats[backend]["recompiles_on_relaunch"] = (
+        dev.ctx.stats.shader_compiles - compiles_before
+    )
+    stats[backend]["relinks_on_relaunch"] = (
+        dev.ctx.stats.program_links - links_before
+    )
+
+
 def _sum_launch(backend):
     dev = GpgpuDevice(float_model="videocore", execution_backend=backend)
     rng = np.random.default_rng(0)
@@ -81,7 +100,7 @@ def _sum_launch(backend):
 
 
 def bench_sum():
-    rigs = {backend: _sum_launch(backend) for backend in ("ast", "ir")}
+    rigs = {backend: _sum_launch(backend) for backend in BACKENDS}
     stats = _time_interleaved(
         {backend: rig[3] for backend, rig in rigs.items()}
     )
@@ -89,26 +108,14 @@ def bench_sum():
         stats[backend]["correct"] = bool(
             np.array_equal(out.to_host(), expected)
         )
-        # Cache behaviour: an identical kernel request is a cache hit,
-        # and relaunching triggers no further compiles or links.
-        compiles_before = dev.ctx.stats.shader_compiles
-        links_before = dev.ctx.stats.program_links
-        make_sum_kernel(dev, "int32")
-        launch()
-        stats[backend]["kernel_cache_hits"] = dev.kernel_cache_hits
-        stats[backend]["recompiles_on_relaunch"] = (
-            dev.ctx.stats.shader_compiles - compiles_before
-        )
-        stats[backend]["relinks_on_relaunch"] = (
-            dev.ctx.stats.program_links - links_before
-        )
+        _cache_stats(stats, backend, dev,
+                     lambda dev=dev: make_sum_kernel(dev, "int32"), launch)
     return stats
 
 
-def _sgemm_launch(backend):
+def _sgemm_launch(backend, n):
     dev = GpgpuDevice(float_model="videocore", execution_backend=backend)
     rng = np.random.default_rng(1)
-    n = SGEMM_N
     a_host = rng.uniform(-1, 1, size=n * n).astype(np.float32)
     b_host = rng.uniform(-1, 1, size=n * n).astype(np.float32)
     c_host = rng.uniform(-1, 1, size=n * n).astype(np.float32)
@@ -118,13 +125,29 @@ def _sgemm_launch(backend):
     out = dev.empty(n * n, "float32")
     kernel = make_sgemm_kernel(dev, "float32", n)
     uniforms = {"u_n": float(n), "u_alpha": 1.0, "u_beta": 1.0}
-    return lambda: kernel(out, {"a": a, "b": b, "c0": c0}, uniforms)
+    launch = lambda: kernel(out, {"a": a, "b": b, "c0": c0}, uniforms)
+    return dev, out, n, launch
 
 
-def bench_sgemm():
-    return _time_interleaved(
-        {backend: _sgemm_launch(backend) for backend in ("ast", "ir")}
+def bench_sgemm(n=SGEMM_N):
+    rigs = {backend: _sgemm_launch(backend, n) for backend in BACKENDS}
+    stats = _time_interleaved(
+        {backend: rig[3] for backend, rig in rigs.items()}
     )
+    # No closed-form host expectation under the videocore float model:
+    # correctness here is bit-identical agreement with the AST backend
+    # (whose conformance the differential oracle establishes).
+    reference = rigs["ast"][1].to_host()
+    for backend, (dev, out, size, launch) in rigs.items():
+        stats[backend]["correct"] = bool(
+            np.array_equal(out.to_host(), reference)
+        )
+        _cache_stats(
+            stats, backend, dev,
+            lambda dev=dev, size=size: make_sgemm_kernel(dev, "float32", size),
+            launch,
+        )
+    return stats
 
 
 def main(argv=None):
@@ -137,25 +160,32 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     report = {
-        "description": "repeated-launch wall clock, AST walker vs linear IR",
+        "description": (
+            "repeated-launch wall clock, AST walker vs linear IR vs "
+            "NumPy-source JIT"
+        ),
         "python": platform.python_version(),
         "workloads": {},
     }
     for name, fn, size in (
         ("sum_int32", bench_sum, SUM_N),
         ("sgemm_float32", bench_sgemm, SGEMM_N),
+        ("sgemm_float32_16",
+         lambda: bench_sgemm(SGEMM_N_LARGE), SGEMM_N_LARGE),
     ):
         per_backend = fn()
-        for backend in ("ast", "ir"):
+        for backend in BACKENDS:
             print(
                 f"{name} [{backend}] median {per_backend[backend]['median_ms']:.3f} ms"
                 f"  min {per_backend[backend]['min_ms']:.3f} ms"
             )
-        ratio = per_backend["ast"]["median_ms"] / per_backend["ir"]["median_ms"]
-        per_backend["speedup_ir_over_ast"] = round(ratio, 3)
+        ast_median = per_backend["ast"]["median_ms"]
+        for compiled in ("ir", "jit"):
+            ratio = ast_median / per_backend[compiled]["median_ms"]
+            per_backend[f"speedup_{compiled}_over_ast"] = round(ratio, 3)
+            print(f"{name} speedup (ast/{compiled}): {ratio:.3f}x")
         per_backend["size"] = size
         report["workloads"][name] = per_backend
-        print(f"{name} speedup (ast/ir): {ratio:.3f}x")
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -42,9 +42,11 @@ class GpgpuDevice:
     machine:
         GPU timing parameters for :meth:`wall_time`.
     execution_backend:
-        ``"ast"`` (reference tree-walking interpreter) or ``"ir"``
+        ``"ast"`` (reference tree-walking interpreter), ``"ir"``
         (compiled linear-IR executor, bit-identical and faster on
-        repeated launches).
+        repeated launches) or ``"jit"`` (generated straight-line
+        numpy code per compiled program — fastest steady state;
+        falls back to the IR executor outside the JIT subset).
     """
 
     def __init__(

@@ -183,15 +183,20 @@ def execute_draw(
 
     ``execution_backend`` selects how shaders run: ``"ast"`` walks the
     typed AST (the reference vectorised semantics), ``"ir"`` executes
-    the compiled linear IR (bit-identical, cached per shader)."""
+    the compiled linear IR (bit-identical, cached per shader),
+    ``"jit"`` runs generated straight-line numpy code (bit-identical,
+    cached per shader; IR fallback outside the JIT subset)."""
     if execution_backend == "ir":
         shader_executor = IRExecutor
+    elif execution_backend == "jit":
+        from ..glsl.jit import JitExecutor
+        shader_executor = JitExecutor
     elif execution_backend == "ast":
         shader_executor = Interpreter
     else:
         raise ValueError(
             f"unknown execution backend '{execution_backend}' "
-            "(expected 'ast' or 'ir')"
+            "(expected 'ast', 'ir' or 'jit')"
         )
     stats = DrawStats()
     if index_stream.size == 0:
@@ -267,10 +272,17 @@ def execute_draw(
     fs_presets: Dict[str, Value] = dict(uniforms)
     for name, gtype in program.varying_types.items():
         per_vertex = vs_env[name].data
-        per_vertex = np.broadcast_to(
-            per_vertex.astype(np.float64),
-            (vertex_count,) + per_vertex.shape[1:],
-        )
+        if (per_vertex.shape[0] != vertex_count
+                or per_vertex.dtype != np.float64):
+            # Uniform-width or reduced-precision vertex outputs need a
+            # widen + float64 upcast; outputs already at full vertex
+            # width in float64 (the exact-model GPGPU case) are used
+            # as-is — the broadcast + astype copy is pure per-launch
+            # overhead.
+            per_vertex = np.broadcast_to(
+                per_vertex.astype(np.float64),
+                (vertex_count,) + per_vertex.shape[1:],
+            )
         interpolated = raster.interpolate_varying(batch, per_vertex)
         fs_presets[name] = Value(gtype, interpolated.astype(float_model.dtype))
 

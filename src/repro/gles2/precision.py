@@ -55,6 +55,13 @@ class FloatModel:
     def quantize(self, data: np.ndarray, category: str = "alu") -> np.ndarray:
         return data
 
+    def quantize_is_cast(self, category: str = "alu") -> bool:
+        """True when ``quantize(x, category)`` equals
+        ``np.asarray(x, self.dtype)`` bit-for-bit.  Compiled backends
+        use this to elide the call entirely for arrays that are
+        already in the model dtype.  Conservative default: False."""
+        return False
+
     def precision_format(self, precision_enum_name: str) -> PrecisionFormat:
         """The glGetShaderPrecisionFormat response for this device."""
         table = {
@@ -75,6 +82,9 @@ class ExactModel(FloatModel):
     name = "exact"
     dtype = np.float64
 
+    def quantize_is_cast(self, category: str = "alu") -> bool:
+        return True
+
 
 class Ieee32Model(FloatModel):
     """Ideal IEEE 754 single-precision device."""
@@ -84,6 +94,9 @@ class Ieee32Model(FloatModel):
 
     def quantize(self, data: np.ndarray, category: str = "alu") -> np.ndarray:
         return np.asarray(data, dtype=np.float32)
+
+    def quantize_is_cast(self, category: str = "alu") -> bool:
+        return True
 
 
 class VideoCoreModel(FloatModel):
@@ -122,6 +135,9 @@ class VideoCoreModel(FloatModel):
         truncated = truncate_mantissa(data, self.sfu_mantissa_bits)
         perturbed = truncated * np.float32(1.0 + self.sfu_relative_bias)
         return np.where(np.isfinite(truncated), perturbed, truncated)
+
+    def quantize_is_cast(self, category: str = "alu") -> bool:
+        return category != "sfu"
 
 
 def truncate_mantissa(data: np.ndarray, keep_bits: int) -> np.ndarray:

@@ -14,6 +14,7 @@ left, pixel centers at half-integer coordinates.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -36,21 +37,24 @@ def assemble_triangles(mode: int, indices: np.ndarray) -> np.ndarray:
     if mode == enums.GL_TRIANGLE_STRIP:
         if count < 3:
             return np.zeros((0, 3), dtype=indices.dtype)
-        tris = []
-        for i in range(count - 2):
-            if i % 2 == 0:
-                tris.append((indices[i], indices[i + 1], indices[i + 2]))
-            else:
-                # Swap to preserve winding.
-                tris.append((indices[i + 1], indices[i], indices[i + 2]))
-        return np.array(tris, dtype=indices.dtype)
+        i = np.arange(count - 2)
+        even = (i % 2) == 0
+        # Odd triangles swap their first two vertices to preserve
+        # winding.
+        first = np.where(even, indices[i], indices[i + 1])
+        second = np.where(even, indices[i + 1], indices[i])
+        return np.stack([first, second, indices[i + 2]], axis=1)
     if mode == enums.GL_TRIANGLE_FAN:
         if count < 3:
             return np.zeros((0, 3), dtype=indices.dtype)
-        tris = [
-            (indices[0], indices[i], indices[i + 1]) for i in range(1, count - 1)
-        ]
-        return np.array(tris, dtype=indices.dtype)
+        return np.stack(
+            [
+                np.broadcast_to(indices[0], (count - 2,)),
+                indices[1:-1],
+                indices[2:],
+            ],
+            axis=1,
+        )
     raise SimulatorLimitation(
         f"primitive mode {hex(mode)} is not rasterised by this simulator "
         "(use GL_TRIANGLES / GL_TRIANGLE_STRIP / GL_TRIANGLE_FAN / GL_POINTS)"
@@ -100,6 +104,23 @@ def viewport_transform(
     return window, w_clip
 
 
+# Fragment-batch memo for the GPGPU steady state: kernel relaunches
+# redraw a byte-identical quad into the same framebuffer, so the
+# fixed-function rasterisation work repeats verbatim every launch.
+# The key is the exact byte content of every input, which makes a hit
+# bit-identical by construction; consumers never mutate a
+# FragmentBatch (fancy indexing copies), so sharing the arrays is
+# safe.  Oversized batches are not memoised to bound memory.
+_RASTER_MEMO: "OrderedDict[tuple, FragmentBatch]" = OrderedDict()
+_RASTER_MEMO_CAPACITY = 16
+_RASTER_MEMO_MAX_FRAGMENTS = 1 << 16
+
+
+def raster_memo_clear() -> None:
+    """Drop all memoised fragment batches (test isolation hook)."""
+    _RASTER_MEMO.clear()
+
+
 def rasterize_triangles(
     window: np.ndarray,
     w_clip: np.ndarray,
@@ -111,7 +132,42 @@ def rasterize_triangles(
     """Rasterise triangles given window-space vertices.
 
     Applies the top-left fill rule so shared edges shade exactly once.
+    Results are memoised on the full input content (see
+    ``_RASTER_MEMO``): relaunching the same GPGPU quad skips the
+    per-triangle scan entirely.
     """
+    key = (
+        np.ascontiguousarray(window).tobytes(),
+        np.ascontiguousarray(w_clip).tobytes(),
+        np.ascontiguousarray(triangles).tobytes(),
+        triangles.shape[0],
+        str(triangles.dtype),
+        fb_width,
+        fb_height,
+        scissor,
+    )
+    hit = _RASTER_MEMO.get(key)
+    if hit is not None:
+        _RASTER_MEMO.move_to_end(key)
+        return hit
+    batch = _rasterize_triangles(
+        window, w_clip, triangles, fb_width, fb_height, scissor
+    )
+    if batch.count <= _RASTER_MEMO_MAX_FRAGMENTS:
+        _RASTER_MEMO[key] = batch
+        while len(_RASTER_MEMO) > _RASTER_MEMO_CAPACITY:
+            _RASTER_MEMO.popitem(last=False)
+    return batch
+
+
+def _rasterize_triangles(
+    window: np.ndarray,
+    w_clip: np.ndarray,
+    triangles: np.ndarray,
+    fb_width: int,
+    fb_height: int,
+    scissor: Optional[Tuple[int, int, int, int]] = None,
+) -> FragmentBatch:
     all_px: List[np.ndarray] = []
     all_py: List[np.ndarray] = []
     all_ids: List[np.ndarray] = []
@@ -128,55 +184,72 @@ def rasterize_triangles(
         max_x, max_y = min(max_x, sx + sw), min(max_y, sy + sh)
 
     for tri in triangles:
-        v0, v1, v2 = (window[i] for i in tri)
-        area = (v1[0] - v0[0]) * (v2[1] - v0[1]) - (v1[1] - v0[1]) * (v2[0] - v0[0])
+        # Scalar edge setup in native floats (IEEE double, identical
+        # arithmetic to the former numpy-scalar version, far cheaper
+        # per triangle).
+        v0x, v0y = float(window[tri[0], 0]), float(window[tri[0], 1])
+        v1x, v1y = float(window[tri[1], 0]), float(window[tri[1], 1])
+        v2x, v2y = float(window[tri[2], 0]), float(window[tri[2], 1])
+        area = (v1x - v0x) * (v2y - v0y) - (v1y - v0y) * (v2x - v0x)
         if area == 0.0:
             continue
         orient = 1.0 if area > 0 else -1.0
 
-        x_lo = max(int(np.floor(min(v0[0], v1[0], v2[0]))), min_x)
-        x_hi = min(int(np.ceil(max(v0[0], v1[0], v2[0]))), max_x)
-        y_lo = max(int(np.floor(min(v0[1], v1[1], v2[1]))), min_y)
-        y_hi = min(int(np.ceil(max(v0[1], v1[1], v2[1]))), max_y)
+        x_lo = max(int(np.floor(min(v0x, v1x, v2x))), min_x)
+        x_hi = min(int(np.ceil(max(v0x, v1x, v2x))), max_x)
+        y_lo = max(int(np.floor(min(v0y, v1y, v2y))), min_y)
+        y_hi = min(int(np.ceil(max(v0y, v1y, v2y))), max_y)
         if x_lo >= x_hi or y_lo >= y_hi:
             continue
 
-        xs = np.arange(x_lo, x_hi, dtype=np.float64) + 0.5
-        ys = np.arange(y_lo, y_hi, dtype=np.float64) + 0.5
-        px, py = np.meshgrid(xs, ys)
+        # Row/column vectors broadcast to the (H, W) bbox lazily —
+        # same elementwise values as an explicit meshgrid without
+        # materialising the coordinate planes.
+        xs = np.arange(x_lo, x_hi, dtype=np.float64)[None, :] + 0.5
+        ys = np.arange(y_lo, y_hi, dtype=np.float64)[:, None] + 0.5
 
-        inside = np.ones(px.shape, dtype=bool)
+        inside = None
         edge_values = []
-        for a, b in ((v1, v2), (v2, v0), (v0, v1)):
-            dx = (b[0] - a[0]) * orient
-            dy = (b[1] - a[1]) * orient
-            e = dx * (py - a[1]) - dy * (px - a[0])
-            top_left = (dy > 0.0) or (dy == 0.0 and dx < 0.0)
-            if top_left:
-                inside &= e >= 0.0
-            else:
-                inside &= e > 0.0
+        for ax, ay, bx, by in (
+            (v1x, v1y, v2x, v2y),
+            (v2x, v2y, v0x, v0y),
+            (v0x, v0y, v1x, v1y),
+        ):
+            dx = (bx - ax) * orient
+            dy = (by - ay) * orient
+            e = dx * (ys - ay) - dy * (xs - ax)
+            top_left = dy > 0.0 or (dy == 0.0 and dx < 0.0)
+            hit = e >= 0.0 if top_left else e > 0.0
+            inside = hit if inside is None else (inside & hit)
             edge_values.append(e)
         if not inside.any():
             continue
+        iy, ix = np.nonzero(inside)
 
-        e0, e1, e2 = (e[inside] for e in edge_values)
+        e0, e1, e2 = (e[iy, ix] for e in edge_values)
         total = e0 + e1 + e2
         bary = np.stack([e0, e1, e2], axis=1) / total[:, None]
 
         ws = w_clip[tri]
-        inv_w = np.where(ws == 0.0, 1.0, 1.0 / ws)
-        persp_num = bary * inv_w[None, :]
-        frag_inv_w = persp_num.sum(axis=1)
-        persp = persp_num / frag_inv_w[:, None]
+        if ws[0] == 1.0 and ws[1] == 1.0 and ws[2] == 1.0:
+            # GPGPU quad fast path: with every clip w == 1 the
+            # perspective weights equal the window-space barycentrics
+            # exactly (the reciprocal/normalise round trip divides
+            # each weight by their sum twice — pure overhead and a
+            # rounding detour on every kernel launch).
+            persp = bary
+            frag_inv_w = np.ones(bary.shape[0], dtype=np.float64)
+        else:
+            inv_w = np.where(ws == 0.0, 1.0, 1.0 / ws)
+            persp_num = bary * inv_w[None, :]
+            frag_inv_w = persp_num.sum(axis=1)
+            persp = persp_num / frag_inv_w[:, None]
 
         zs = window[tri, 2]
         frag_z = bary @ zs
 
-        ix = np.floor(px[inside]).astype(np.int64)
-        iy = np.floor(py[inside]).astype(np.int64)
-        all_px.append(ix)
-        all_py.append(iy)
+        all_px.append(x_lo + ix)
+        all_py.append(y_lo + iy)
         all_ids.append(np.broadcast_to(tri, (ix.shape[0], 3)).copy())
         all_bary.append(bary)
         all_persp.append(persp)

@@ -145,10 +145,11 @@ class Texture:
         # Without mipmaps and with a full-screen quad, the mag filter
         # applies; GPGPU kernels use NEAREST.
         if mag == enums.GL_NEAREST:
-            texels = self._sample_nearest(s, t)
-        else:
-            texels = self._sample_linear(s, t)
-        return texels / 255.0
+            # uint8 / float divides in float64 directly (every uint8
+            # is exact in float64) — same bits as astype-then-divide
+            # without the intermediate copy.
+            return self._sample_nearest(s, t) / 255.0
+        return self._sample_linear(s, t) / 255.0
 
     def _wrap(self, coord: np.ndarray, mode: int, size: int) -> np.ndarray:
         """Map texel indices through the wrap mode onto [0, size)."""
@@ -157,7 +158,9 @@ class Texture:
         if mode == enums.GL_MIRRORED_REPEAT:
             period = np.mod(coord, 2 * size)
             return np.where(period < size, period, 2 * size - 1 - period)
-        return np.clip(coord, 0, size - 1)
+        # Same result as np.clip for integer indices, without the
+        # method-dispatch detour (this is the hot clamp-to-edge path).
+        return np.minimum(np.maximum(coord, 0), size - 1)
 
     def _sample_nearest(self, s: np.ndarray, t: np.ndarray) -> np.ndarray:
         i = np.floor(s * self.width).astype(np.int64)
@@ -169,7 +172,7 @@ class Texture:
             i = np.broadcast_to(i, (n,))
         if j.shape[0] != n:
             j = np.broadcast_to(j, (n,))
-        return self.data[j, i].astype(np.float64)
+        return self.data[j, i]
 
     def _sample_linear(self, s: np.ndarray, t: np.ndarray) -> np.ndarray:
         x = s * self.width - 0.5

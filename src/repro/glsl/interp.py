@@ -69,6 +69,9 @@ class _ExactModel:
     def quantize(self, data: np.ndarray, category: str = "alu") -> np.ndarray:
         return data
 
+    def quantize_is_cast(self, category: str = "alu") -> bool:
+        return True
+
 
 class _LoopFrame:
     """Masks for one active loop."""

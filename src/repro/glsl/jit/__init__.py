@@ -1,0 +1,175 @@
+"""``repro.glsl.jit`` — NumPy-source JIT backend for compiled shaders.
+
+The third execution backend (after the AST tree walker and the linear
+IR executor): :mod:`.codegen` walks the optimised IR once per
+(program, wide-global set) and emits a single straight-line vectorised
+Python function, materialised with ``compile()``/``exec``.  Steady-state
+kernel relaunches then run **zero interpreter instructions** — one
+function call per shader stage per draw, all the work inside numpy.
+
+:mod:`.uniform` supplies the uniform-lane inference that keeps
+registers depending only on uniforms/constants at batch width 1, so
+per-draw quantities are computed once instead of once per fragment.
+
+:class:`JitExecutor` is the drop-in `execute(n, presets)` engine.  It
+shares the IR executor's whole setup path (program cache, global
+plans, preset binding) and differs only in how the body runs.
+Programs using constructs outside the JIT subset (divergent returns,
+structs, multi-step l-values — see :class:`~.codegen.JitUnsupported`)
+fall back to the :class:`~repro.glsl.ir.executor.IRExecutor` at whole-
+program granularity; each fallback *draw* increments the module-level
+``jit_fallbacks`` counter.
+
+Because the generated code does not tally ops dynamically, callers
+that need :class:`~repro.perf.counters.OpCounters` totals get the
+static IR-cost projection (:func:`repro.glsl.ir.static_cost`) instead,
+applied once per draw.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+import numpy as np
+
+from ..values import Value, zeros_for
+from ..ir import get_compiled, static_cost
+from ..ir.executor import IRExecutor
+from .codegen import JitUnsupported, generate
+from .uniform import UniformInfo, infer_uniform
+
+__all__ = [
+    "JitExecutor",
+    "JitUnsupported",
+    "UniformInfo",
+    "infer_uniform",
+    "jit_fallbacks",
+    "reset_fallbacks",
+]
+
+#: Number of draws that fell back to the IRExecutor because the
+#: program (or this draw's runtime shape) is outside the JIT subset.
+jit_fallbacks = 0
+
+
+def reset_fallbacks() -> None:
+    global jit_fallbacks
+    jit_fallbacks = 0
+
+
+def _bump_fallbacks() -> None:
+    global jit_fallbacks
+    jit_fallbacks += 1
+
+
+def _jit_function(program, fmodel, wide: FrozenSet[str]):
+    """Cached codegen: one compiled function per (program, wide set).
+
+    ``program`` instances are already memoised per (shader, float
+    model) by :func:`repro.glsl.ir.get_compiled`, so attaching the JIT
+    artifact cache to the program object gives the per-(shader,
+    float-model) caching the launch path relies on.  Returns ``None``
+    when the program is outside the JIT subset (negative result cached
+    too, so unsupported shaders pay codegen only once).
+    """
+    cache = getattr(program, "_jit_cache", None)
+    if cache is None:
+        cache = program._jit_cache = {}
+    if wide in cache:
+        return cache[wide]
+    rejected = getattr(program, "_jit_unsupported", None)
+    if rejected is None:
+        rejected = program._jit_unsupported = {}
+    if wide in rejected:
+        return None
+    try:
+        fn = generate(program, fmodel, wide)
+    except JitUnsupported as exc:
+        rejected[wide] = str(exc)
+        return None
+    cache[wide] = fn
+    return fn
+
+
+class JitExecutor(IRExecutor):
+    """Drop-in replacement for :class:`IRExecutor` that calls the
+    generated straight-line numpy function instead of dispatching IR
+    instructions.  Same constructor, same ``execute(n, presets)``
+    contract, bit-identical observable results."""
+
+    def execute(self, n: int, presets: Dict[str, Value]) -> Dict[str, Value]:
+        program = self.program
+        if program is None or program.checked is not self.checked:
+            program = get_compiled(self.checked, self.fmodel)
+            self.program = program
+
+        wide = frozenset(
+            name for name, value in presets.items()
+            if value.batch > 1
+        )
+        fn = _jit_function(program, self.fmodel, wide)
+        if fn is None:
+            _bump_fallbacks()
+            return super().execute(n, presets)
+
+        # Same preset/global binding as IRExecutor.execute.  The IR
+        # dispatch state (exec_mask, control stacks, frames) is not
+        # allocated: the generated function threads masks through
+        # locals, and the fallback path re-initialises everything.
+        self.n = n
+        self.globals_env = {}
+        self.consts = program.materialized_consts(self.fmodel)
+        self.regs = [None] * program.nregs
+
+        simple_inits = program.simple_inits()
+        for plan in program.globals_plan:
+            if plan.name in presets:
+                value = presets[plan.name]
+            elif plan.is_sampler:
+                value = Value(plan.type)
+            elif plan.init_block is not None:
+                idx = simple_inits.get(plan.name)
+                if idx is not None:
+                    gtype, data = self.consts[idx]
+                    value = Value(gtype, data)
+                else:
+                    value = self._run_global_init(program, plan)
+            else:
+                value = zeros_for(plan.type, 1, self.fmodel.dtype)
+            self.regs[plan.reg] = value
+            self.globals_env[plan.name] = value
+        for name, value in presets.items():
+            self.globals_env.setdefault(name, value)
+
+        try:
+            discarded = fn(self.regs, n, self.max_loop_iterations)
+        except (NameError, UnboundLocalError):
+            # A cross-region CSE'd value whose defining branch did not
+            # execute on this draw left a Python local unbound.  The
+            # generated function only publishes results in its final
+            # writeback, so nothing is half-written: run the draw on
+            # the IR executor instead (full re-setup included).
+            _bump_fallbacks()
+            return super().execute(n, presets)
+        if discarded is not None:
+            self.discarded = self._broadcast_mask(discarded)
+        else:
+            self.discarded = np.zeros(n, dtype=bool)
+
+        if self.counters is not None:
+            totals_cache = getattr(program, "_static_totals", None)
+            if totals_cache is None:
+                totals_cache = program._static_totals = {}
+            totals = totals_cache.get(n)
+            if totals is None:
+                cost = getattr(program, "_static_cost", None)
+                if cost is None:
+                    cost = program._static_cost = static_cost(program)
+                totals = totals_cache[n] = [
+                    (category, count)
+                    for category, count in cost.totals(n).items()
+                    if count
+                ]
+            for category, count in totals:
+                self.counters.add(category, count)
+        return self.globals_env

@@ -1,0 +1,209 @@
+"""Uniform-lane inference over the structured register IR.
+
+A register is **uniform** when its value provably does not depend on
+any per-lane (full-fragment-width) input: it is computed exclusively
+from constants, uniforms and other uniform registers, and every store
+into it happens under a uniform mask context.  Uniform registers stay
+batch-1 ndarrays in the JIT-generated NumPy code — the paper's per-draw
+quantities (sizes, scales, sampler parameters) are computed once per
+launch instead of once per fragment, and numpy broadcasting widens
+them lazily at their first varying use.
+
+The analysis is an optimistic fixpoint: every register starts as
+uniform, *varying* facts are seeded from the wide (batch > 1) global
+presets, and the block walk demotes registers until nothing changes.
+Demotion is monotonic, so the loop terminates; the result is sound
+(conservative) for exactly the property the code generator relies on:
+a register classified uniform is width-1 at runtime and carries the
+same value on every lane.
+
+Mask contexts matter because masked stores widen their target: a store
+under a varying mask produces a lane-dependent value even when the
+stored data is uniform.  The walk therefore tracks whether the current
+execution-mask context is itself uniform (an ``if`` on a varying
+condition, the body of a lane-divergent loop, or an ``Sc`` rhs guarded
+by a varying left operand all make it varying).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..ir.nodes import (
+    Block,
+    CompiledProgram,
+    CondRegion,
+    FuncRegion,
+    IfRegion,
+    Instr,
+    KILL_OPS,
+    LoopRegion,
+    ScRegion,
+)
+
+
+def _block_has_op(block: Optional[Block], ops) -> bool:
+    if block is None:
+        return False
+    for item in block.items:
+        if isinstance(item, Instr):
+            if item.op in ops:
+                return True
+        elif isinstance(item, IfRegion):
+            if _block_has_op(item.then_block, ops) or \
+                    _block_has_op(item.else_block, ops):
+                return True
+        elif isinstance(item, LoopRegion):
+            if _block_has_op(item.cond_block, ops) or \
+                    _block_has_op(item.body_block, ops) or \
+                    _block_has_op(item.update_block, ops):
+                return True
+        elif isinstance(item, CondRegion):
+            if _block_has_op(item.true_block, ops) or \
+                    _block_has_op(item.false_block, ops):
+                return True
+        elif isinstance(item, ScRegion):
+            if _block_has_op(item.rhs_block, ops):
+                return True
+        elif isinstance(item, FuncRegion):
+            if _block_has_op(item.body_block, ops):
+                return True
+    return False
+
+
+def block_has_kill(block: Optional[Block]) -> bool:
+    """Whether any divergence kill op (return/break/continue/discard)
+    appears anywhere inside the block."""
+    return _block_has_op(block, KILL_OPS)
+
+
+def block_has_return(block: Optional[Block]) -> bool:
+    return _block_has_op(block, ("return",))
+
+
+class UniformInfo:
+    """Result of the inference: ``is_uniform(reg)`` queries."""
+
+    __slots__ = ("varying",)
+
+    def __init__(self, varying: Set[int]):
+        self.varying = varying
+
+    def is_uniform(self, reg: int) -> bool:
+        return reg not in self.varying
+
+
+class _Inference:
+    def __init__(self, program: CompiledProgram, wide_globals: Set[str]):
+        self.program = program
+        self.wide = wide_globals
+        self.varying: Set[int] = set()
+        self.changed = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> UniformInfo:
+        for plan in self.program.globals_plan:
+            if plan.name in self.wide:
+                self.varying.add(plan.reg)
+        while True:
+            self.changed = False
+            self._walk_block(self.program.body, mask_uniform=True)
+            if not self.changed:
+                break
+        return UniformInfo(self.varying)
+
+    # ------------------------------------------------------------------
+    def _demote(self, reg: Optional[int]) -> None:
+        if reg is not None and reg not in self.varying:
+            self.varying.add(reg)
+            self.changed = True
+
+    def _u(self, reg: int) -> bool:
+        return reg not in self.varying
+
+    def _all_u(self, regs) -> bool:
+        return all(self._u(r) for r in regs)
+
+    # ------------------------------------------------------------------
+    def _walk_instr(self, ins: Instr, mask_uniform: bool) -> None:
+        op = ins.op
+        if op in KILL_OPS:
+            return
+        if op == "store":
+            # args = (root, value, *index_regs); a store widens its root
+            # unless the stored value, every index and the current mask
+            # context are all uniform.
+            if not (mask_uniform and self._all_u(ins.args)):
+                self._demote(ins.args[0])
+            return
+        if op == "incdec":
+            # args = (root, *index_regs)
+            if not (mask_uniform and self._all_u(ins.args)):
+                self._demote(ins.args[0])
+            if not (self._all_u(ins.args) and self._u(ins.args[0])):
+                self._demote(ins.out)
+            return
+        if op in ("const", "decl"):
+            return  # batch-1 by construction
+        if op == "sc_combine":
+            # Combines through the *runtime execution mask*: varying
+            # mask contexts make the blend lane-dependent.
+            if not (mask_uniform and self._all_u(ins.args)):
+                self._demote(ins.out)
+            return
+        # Every remaining value op (move/copy/load/swizzle/arith/
+        # builtin/texture/select/...) is a pure function of its
+        # argument registers.
+        if not self._all_u(ins.args):
+            self._demote(ins.out)
+
+    def _walk_block(self, block: Optional[Block], mask_uniform: bool) -> None:
+        if block is None:
+            return
+        for item in block.items:
+            if isinstance(item, Instr):
+                self._walk_instr(item, mask_uniform)
+            elif isinstance(item, IfRegion):
+                inner = mask_uniform and self._u(item.cond)
+                self._walk_block(item.then_block, inner)
+                self._walk_block(item.else_block, inner)
+            elif isinstance(item, LoopRegion):
+                # A loop body diverges whenever the condition varies or
+                # any kill op can retire lanes mid-loop.
+                inner = (mask_uniform
+                         and (item.cond is None or self._u(item.cond))
+                         and not block_has_kill(item.body_block))
+                self._walk_block(item.cond_block, inner)
+                self._walk_block(item.body_block, inner)
+                self._walk_block(item.update_block, inner)
+            elif isinstance(item, CondRegion):
+                inner = mask_uniform and self._u(item.cond)
+                self._walk_block(item.true_block, inner)
+                self._walk_block(item.false_block, inner)
+                if not (inner and self._u(item.true_reg)
+                        and self._u(item.false_reg)):
+                    self._demote(item.out)
+            elif isinstance(item, ScRegion):
+                inner = mask_uniform and self._u(item.left)
+                self._walk_block(item.rhs_block, inner)
+                if not (inner and self._u(item.right)):
+                    self._demote(item.out)
+            elif isinstance(item, FuncRegion):
+                self._walk_block(item.body_block, mask_uniform)
+                # No-return frames yield a fresh zero value (uniform);
+                # frames containing returns are outside the JIT subset
+                # anyway, so classify their out conservatively.
+                if block_has_return(item.body_block):
+                    self._demote(item.out)
+
+
+def infer_uniform(program: CompiledProgram,
+                  wide_globals: Set[str]) -> UniformInfo:
+    """Classify every register of ``program`` as uniform or varying.
+
+    ``wide_globals`` is the set of global names whose preset values are
+    wider than batch 1 for the draw being compiled (attributes,
+    varyings, gl_FragCoord, ...); the JIT keys its code cache on this
+    set, so each (program, wide-set) pair is analysed once.
+    """
+    return _Inference(program, wide_globals).run()

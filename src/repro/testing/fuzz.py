@@ -8,12 +8,15 @@ shrunk to a minimal reproducer.
 
 ``--backend`` picks the execution backends under test: ``ast`` is the
 legacy three-way oracle, ``ir`` drives the raster pipeline with the
-compiled-IR executor, ``both`` (default) cross-checks all four paths.
+compiled-IR executor, ``jit`` drives it with the NumPy-source JIT
+backend, ``both`` (default) cross-checks paths A-D, and ``all``
+cross-checks all five paths (AST pipeline + AST/IR/JIT replays +
+scalar reference).
 
 Usage::
 
-    python -m repro.testing.fuzz --n 500 --seed 0 --backend both
-    python -m repro.testing.fuzz --n 200 --seed 0 --backend ir
+    python -m repro.testing.fuzz --n 500 --seed 0 --backend all
+    python -m repro.testing.fuzz --n 200 --seed 0 --backend jit
     python -m repro.testing.fuzz --n 50 --seed 3 --inject eq2   # must fail
 
 Exit status 0 means zero divergences (or, with ``--inject``, that the
@@ -136,12 +139,15 @@ def main(argv: Optional[list] = None) -> int:
                         help="framebuffer side length in pixels")
     parser.add_argument("--quantization", choices=("round", "floor"),
                         default="round", help="eq. (2) quantisation mode")
-    parser.add_argument("--backend", choices=("ast", "ir", "both"),
+    parser.add_argument("--backend",
+                        choices=("ast", "ir", "jit", "both", "all"),
                         default="both",
                         help="execution backends under test: 'ast' = "
                              "legacy three-way oracle, 'ir' = pipeline "
                              "driven by the compiled-IR executor, "
-                             "'both' = all four paths cross-checked")
+                             "'jit' = pipeline driven by the NumPy-source "
+                             "JIT backend, 'both' = paths A-D, "
+                             "'all' = all five paths cross-checked")
     parser.add_argument("--inject", choices=("eq2",), default=None,
                         help="deliberately inject a pipeline bug; the "
                              "run then must diverge (self-test)")

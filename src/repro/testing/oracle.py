@@ -1,6 +1,6 @@
-"""The differential oracle: four independent ways to render a shader.
+"""The differential oracle: five independent ways to render a shader.
 
-For one fragment shader the oracle produces up to four results and
+For one fragment shader the oracle produces up to five results and
 demands they agree bit-for-bit:
 
 A. **pipeline** — the full ``gles2`` raster path: vertex shading,
@@ -16,16 +16,22 @@ C. **scalar reference** — every fragment individually evaluated by
 D. **compiled IR replay** — the same captured presets replayed through
    :class:`repro.glsl.ir.IRExecutor`: lower → fold → select-convert →
    CSE → DCE → flat instruction loop.  Selected with
-   ``backend="ir"`` / ``"both"`` on :func:`run_differential`.
+   ``backend="ir"`` / ``"both"`` / ``"all"`` on
+   :func:`run_differential`.
+E. **JIT replay** — the presets replayed through
+   :class:`repro.glsl.jit.JitExecutor`: the generated straight-line
+   numpy function (or its IRExecutor fallback for programs outside the
+   JIT subset).  Selected with ``backend="jit"`` / ``"all"``.
 
 A≠B catches framebuffer plumbing and quantisation bugs (this is what
 flags the deliberately injected eq. (2) off-by-one); B≠C catches
 divergence between the two interpreter implementations — masking,
 broadcasting, l-value or builtin semantics; D≠B catches any place the
 IR compile pipeline (lowering or an optimisation pass) changes
-observable semantics.  The rasteriser itself is checked by asserting
-the fullscreen quad covers every pixel exactly once (top-left fill
-rule conformance).
+observable semantics; E≠B catches JIT codegen bugs — mask-blend
+lowering, uniform-lane width inference, quantisation elision.  The
+rasteriser itself is checked by asserting the fullscreen quad covers
+every pixel exactly once (top-left fill rule conformance).
 """
 
 from __future__ import annotations
@@ -93,7 +99,7 @@ class DifferentialResult:
     source: str
     #: "" when ok; otherwise which comparison failed
     #: ("coverage", "discard", "color", "ir-discard", "ir-color",
-    #: "pipeline-vs-reference").
+    #: "jit-discard", "jit-color", "pipeline-vs-reference").
     stage: str = ""
     message: str = ""
     framebuffer: Optional[np.ndarray] = None
@@ -177,7 +183,7 @@ def draw_for_capture(
     ``vertex_source`` may replace the standard quad shader (e.g. the
     codegen pass-through shader, whose varying is ``v_coord``).
     ``execution_backend`` selects how the pipeline itself runs the
-    shaders ("ast" or "ir").
+    shaders ("ast", "ir" or "jit").
     """
     ctx = GLES2Context(
         width=size, height=size, float_model="exact",
@@ -263,9 +269,11 @@ def run_differential(
     ``backend`` selects the execution backends under test: ``"ast"``
     runs the legacy three-way oracle (paths A/B/C), ``"ir"`` drives the
     raster pipeline itself with the IR executor and adds the path-D
-    replay, ``"both"`` (default) keeps the pipeline on the reference
-    AST backend and cross-checks all four paths."""
-    if backend not in ("ast", "ir", "both"):
+    replay, ``"jit"`` drives the pipeline with the JIT backend and adds
+    the path-E replay, ``"both"`` (default) keeps the pipeline on the
+    reference AST backend and cross-checks paths A/B/C/D, and ``"all"``
+    cross-checks all five paths."""
+    if backend not in ("ast", "ir", "jit", "both", "all"):
         raise ValueError(f"unknown backend '{backend}'")
     framebuffer, capture = draw_for_capture(
         fragment_source,
@@ -274,7 +282,7 @@ def run_differential(
         uniforms=uniforms,
         textures=textures,
         vertex_source=vertex_source,
-        execution_backend="ir" if backend == "ir" else "ast",
+        execution_backend=backend if backend in ("ir", "jit") else "ast",
     )
 
     def fail(stage: str, message: str, mismatches=()) -> DifferentialResult:
@@ -318,7 +326,7 @@ def run_differential(
     # ------------------------------------------------------------------
     # Path D: compiled-IR replay on the same captured presets.
     # ------------------------------------------------------------------
-    if backend in ("ir", "both"):
+    if backend in ("ir", "both", "all"):
         from ..glsl.ir import IRExecutor
 
         ir_replay = IRExecutor(checked)
@@ -350,6 +358,47 @@ def run_differential(
                 [
                     f"  fragment ({capture.px[i]},{capture.py[i]}): "
                     f"ast={colors_b[i].tolist()} ir={colors_d[i].tolist()}"
+                    for i in lanes
+                ],
+            )
+
+    # ------------------------------------------------------------------
+    # Path E: JIT replay on the same captured presets.  The JitExecutor
+    # itself falls back to the IRExecutor for programs outside the JIT
+    # subset, so this path always yields a comparable result.
+    # ------------------------------------------------------------------
+    if backend in ("jit", "all"):
+        from ..glsl.jit import JitExecutor
+
+        jit_replay = JitExecutor(checked)
+        jit_env = jit_replay.execute(n, _clone_presets(capture.fs_presets))
+        if "gl_FragData" in checked.written_builtins:
+            jit_value = jit_env["gl_FragData"].fields["0"]
+        else:
+            jit_value = jit_env["gl_FragColor"]
+        colors_e = np.broadcast_to(jit_value.data.astype(np.float64), (n, 4))
+        discard_e = jit_replay.discarded
+        if not np.array_equal(discard_b, discard_e):
+            lanes = np.nonzero(discard_b != discard_e)[0][:4]
+            return fail(
+                "jit-discard",
+                "AST interpreter and JIT backend disagree on discard",
+                [
+                    f"  fragment ({capture.px[i]},{capture.py[i]}): "
+                    f"ast={bool(discard_b[i])} jit={bool(discard_e[i])}"
+                    for i in lanes
+                ],
+            )
+        live_e = ~discard_b
+        if not np.array_equal(colors_e[live_e], colors_b[live_e]):
+            diff = np.any(colors_e != colors_b, axis=1) & live_e
+            lanes = np.nonzero(diff)[0][:4]
+            return fail(
+                "jit-color",
+                "AST interpreter and JIT backend disagree on gl_FragColor",
+                [
+                    f"  fragment ({capture.px[i]},{capture.py[i]}): "
+                    f"ast={colors_b[i].tolist()} jit={colors_e[i].tolist()}"
                     for i in lanes
                 ],
             )

@@ -161,3 +161,30 @@ class TestAssembly:
 
     def test_too_few_vertices(self):
         assert assemble_triangles(gl.GL_TRIANGLE_STRIP, np.arange(2)).shape == (0, 3)
+
+
+class TestRasterMemo:
+    def test_repeat_draw_hits_memo_and_matches(self):
+        from repro.gles2 import raster as raster_mod
+
+        raster_mod.raster_memo_clear()
+        window, w, triangles = fullscreen_quad_window(8)
+        first = rasterize_triangles(window, w, triangles, 8, 8)
+        assert len(raster_mod._RASTER_MEMO) == 1
+        again = rasterize_triangles(window.copy(), w.copy(),
+                                    triangles.copy(), 8, 8)
+        assert again is first  # byte-identical inputs -> memoised batch
+        assert len(raster_mod._RASTER_MEMO) == 1
+        raster_mod.raster_memo_clear()
+
+    def test_different_geometry_misses_memo(self):
+        from repro.gles2 import raster as raster_mod
+
+        raster_mod.raster_memo_clear()
+        window, w, triangles = fullscreen_quad_window(8)
+        first = rasterize_triangles(window, w, triangles, 8, 8)
+        other_window, other_w, other_tris = fullscreen_quad_window(4)
+        other = rasterize_triangles(other_window, other_w, other_tris, 4, 4)
+        assert other is not first
+        assert other.count == 16 and first.count == 64
+        raster_mod.raster_memo_clear()
