@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import time
@@ -40,8 +41,12 @@ BACKENDS = ("ast", "ir", "jit")
 SUM_N = 512  # dispatch-bound: launch overhead, not numpy bulk work
 SGEMM_N = 8  # 8x8 matrices, 8-iteration dot-product loop per fragment
 SGEMM_N_LARGE = 16  # 16x16: more per-fragment loop work, same dispatch
+SGEMM_N_XL = 128  # 16384 fragments: the multiprocess-shading regime
+SHADE_WORKERS = 2
 REPS = 50
 WARMUP = 5
+XL_REPS = 7
+XL_WARMUP = 2
 
 
 def _time_interleaved(launches, reps=REPS, warmup=WARMUP):
@@ -113,8 +118,11 @@ def bench_sum():
     return stats
 
 
-def _sgemm_launch(backend, n):
-    dev = GpgpuDevice(float_model="videocore", execution_backend=backend)
+def _sgemm_launch(backend, n, shade_workers=None, tile_size=None):
+    dev = GpgpuDevice(
+        float_model="videocore", execution_backend=backend,
+        shade_workers=shade_workers, tile_size=tile_size,
+    )
     rng = np.random.default_rng(1)
     a_host = rng.uniform(-1, 1, size=n * n).astype(np.float32)
     b_host = rng.uniform(-1, 1, size=n * n).astype(np.float32)
@@ -129,15 +137,25 @@ def _sgemm_launch(backend, n):
     return dev, out, n, launch
 
 
-def bench_sgemm(n=SGEMM_N):
-    rigs = {backend: _sgemm_launch(backend, n) for backend in BACKENDS}
+def bench_sgemm(n=SGEMM_N, backends=BACKENDS, include_workers=False,
+                worker_tile=None, reps=REPS, warmup=WARMUP):
+    """Time sgemm under ``backends``; ``include_workers`` adds a
+    ``jit+workers`` column (JIT backend with ``SHADE_WORKERS``
+    fragment-shading worker processes and ``worker_tile``-pixel tiles;
+    None = the automatic tiling policy)."""
+    rigs = {backend: _sgemm_launch(backend, n) for backend in backends}
+    if include_workers:
+        rigs["jit+workers"] = _sgemm_launch(
+            "jit", n, shade_workers=SHADE_WORKERS, tile_size=worker_tile
+        )
     stats = _time_interleaved(
-        {backend: rig[3] for backend, rig in rigs.items()}
+        {backend: rig[3] for backend, rig in rigs.items()},
+        reps=reps, warmup=warmup,
     )
     # No closed-form host expectation under the videocore float model:
-    # correctness here is bit-identical agreement with the AST backend
-    # (whose conformance the differential oracle establishes).
-    reference = rigs["ast"][1].to_host()
+    # correctness here is bit-identical agreement with the reference
+    # backend (whose conformance the differential oracle establishes).
+    reference = rigs[backends[0]][1].to_host()
     for backend, (dev, out, size, launch) in rigs.items():
         stats[backend]["correct"] = bool(
             np.array_equal(out.to_host(), reference)
@@ -147,7 +165,41 @@ def bench_sgemm(n=SGEMM_N):
             lambda dev=dev, size=size: make_sgemm_kernel(dev, "float32", size),
             launch,
         )
+    if include_workers:
+        from repro.gles2 import parallel
+
+        stats["jit+workers"]["parallel_draws"] = parallel.parallel_draws
     return stats
+
+
+def sweep_tile(n=SGEMM_N_XL, workers=SHADE_WORKERS,
+               tiles=(16, 32, 64, 128, 0), reps=XL_REPS, warmup=XL_WARMUP):
+    """Tile-size sweep behind DEFAULT_TILE_SIZE: times sgemm-``n``
+    under the JIT + worker pool at several tile sizes (0 = tiling off,
+    the monolithic baseline)."""
+    results = {}
+    for tile in tiles:
+        label = f"tile{tile}" if tile else "monolithic"
+        shade_workers = workers if tile else None
+        dev, out, __, launch = _sgemm_launch(
+            "jit", n, shade_workers=shade_workers,
+            tile_size=tile if tile else None,
+        )
+        for _ in range(warmup):
+            launch()
+        samples = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            launch()
+            samples.append(time.perf_counter() - t0)
+        results[label] = {
+            "median_ms": statistics.median(samples) * 1e3,
+            "min_ms": min(samples) * 1e3,
+            "reps": reps,
+        }
+        print(f"sweep sgemm-{n} [{label}] "
+              f"median {results[label]['median_ms']:.3f} ms")
+    return results
 
 
 def main(argv=None):
@@ -157,36 +209,72 @@ def main(argv=None):
         default=str(Path(__file__).resolve().parent.parent / "BENCH_glsl_exec.json"),
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--sweep-tile", action="store_true",
+        help="additionally sweep fragment tile sizes on sgemm-128 "
+             "under the worker pool (justifies DEFAULT_TILE_SIZE)",
+    )
     args = parser.parse_args(argv)
 
     report = {
         "description": (
             "repeated-launch wall clock, AST walker vs linear IR vs "
-            "NumPy-source JIT"
+            "NumPy-source JIT; 'jit+workers' columns add tiled "
+            "multiprocess fragment shading "
+            f"(shade_workers={SHADE_WORKERS})"
         ),
         "python": platform.python_version(),
+        # Worker-pool columns only make sense relative to the cores
+        # actually available: on a single-core host they measure pure
+        # dispatch overhead, not parallel shading.
+        "cpu_count": os.cpu_count(),
         "workloads": {},
     }
-    for name, fn, size in (
-        ("sum_int32", bench_sum, SUM_N),
-        ("sgemm_float32", bench_sgemm, SGEMM_N),
+    for name, fn, size, timed in (
+        ("sum_int32", bench_sum, SUM_N, BACKENDS),
+        ("sgemm_float32", bench_sgemm, SGEMM_N, BACKENDS),
+        # sgemm-16 carries the jit+workers column (explicit 8-pixel
+        # tiles: 256 fragments is far below the auto-tiling floor).
         ("sgemm_float32_16",
-         lambda: bench_sgemm(SGEMM_N_LARGE), SGEMM_N_LARGE),
+         lambda: bench_sgemm(SGEMM_N_LARGE, include_workers=True,
+                             worker_tile=8),
+         SGEMM_N_LARGE, BACKENDS + ("jit+workers",)),
+        # sgemm-128 is the workload the worker pool targets: 16384
+        # fragments with a 128-iteration loop each, where fragment
+        # shading is ~98% of the launch.  AST/IR are skipped (minutes
+        # per rep); tiling engages via the automatic policy.
+        ("sgemm_float32_128",
+         lambda: bench_sgemm(SGEMM_N_XL, backends=("jit",),
+                             include_workers=True,
+                             reps=XL_REPS, warmup=XL_WARMUP),
+         SGEMM_N_XL, ("jit", "jit+workers")),
     ):
         per_backend = fn()
-        for backend in BACKENDS:
+        for backend in timed:
             print(
                 f"{name} [{backend}] median {per_backend[backend]['median_ms']:.3f} ms"
                 f"  min {per_backend[backend]['min_ms']:.3f} ms"
             )
-        ast_median = per_backend["ast"]["median_ms"]
-        for compiled in ("ir", "jit"):
-            ratio = ast_median / per_backend[compiled]["median_ms"]
-            per_backend[f"speedup_{compiled}_over_ast"] = round(ratio, 3)
-            print(f"{name} speedup (ast/{compiled}): {ratio:.3f}x")
+        if "ast" in per_backend:
+            ast_median = per_backend["ast"]["median_ms"]
+            for compiled in ("ir", "jit"):
+                ratio = ast_median / per_backend[compiled]["median_ms"]
+                per_backend[f"speedup_{compiled}_over_ast"] = round(ratio, 3)
+                print(f"{name} speedup (ast/{compiled}): {ratio:.3f}x")
+        if "jit+workers" in per_backend:
+            ratio = (per_backend["jit"]["median_ms"]
+                     / per_backend["jit+workers"]["median_ms"])
+            per_backend["speedup_workers_over_jit"] = round(ratio, 3)
+            print(f"{name} speedup (jit/jit+workers): {ratio:.3f}x")
         per_backend["size"] = size
         report["workloads"][name] = per_backend
 
+    if args.sweep_tile:
+        report["tile_sweep_sgemm_128"] = sweep_tile()
+
+    from repro.gles2 import parallel
+
+    parallel.shutdown_pool()
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
     return report

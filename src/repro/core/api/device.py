@@ -47,6 +47,13 @@ class GpgpuDevice:
         repeated launches) or ``"jit"`` (generated straight-line
         numpy code per compiled program — fastest steady state;
         falls back to the IR executor outside the JIT subset).
+    tile_size:
+        Fragment-tile edge in pixels; None selects the automatic
+        policy (tile only when workers could use it and the draw is
+        large).  Env default: ``REPRO_TILE_SIZE``.
+    shade_workers:
+        Worker processes for fragment shading (JIT backend only; 0 =
+        in-process).  Env default: ``REPRO_SHADE_WORKERS``.
     """
 
     def __init__(
@@ -57,6 +64,8 @@ class GpgpuDevice:
         strict_errors: bool = True,
         max_loop_iterations: int = 65536,
         execution_backend: str = "ast",
+        tile_size: Optional[int] = None,
+        shade_workers: Optional[int] = None,
     ):
         self.ctx = GLES2Context(
             width=1,
@@ -66,6 +75,8 @@ class GpgpuDevice:
             strict_errors=strict_errors,
             max_loop_iterations=max_loop_iterations,
             execution_backend=execution_backend,
+            tile_size=tile_size,
+            shade_workers=shade_workers,
         )
         self.machine = machine
         #: Kernel objects memoised on their program-cache key.

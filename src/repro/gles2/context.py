@@ -20,6 +20,7 @@ framebuffer quantisation mode (spec ``round`` vs paper-eq.(2)
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -55,6 +56,8 @@ class GLES2Context:
         strict_errors: bool = True,
         max_loop_iterations: int = 65536,
         execution_backend: str = "ast",
+        tile_size: Optional[int] = None,
+        shade_workers: Optional[int] = None,
     ):
         if isinstance(float_model, str):
             float_model = make_model(float_model)
@@ -72,6 +75,21 @@ class GLES2Context:
         #: runs generated straight-line numpy code (IR fallback for
         #: constructs outside the JIT subset).
         self.execution_backend = execution_backend
+        # Tiled / multiprocess fragment shading knobs.  Constructor
+        # arguments left unset fall back to the environment
+        # (REPRO_TILE_SIZE / REPRO_SHADE_WORKERS), so deployments can
+        # turn on worker shading without touching call sites.
+        if tile_size is None:
+            env_tile = os.environ.get("REPRO_TILE_SIZE", "")
+            tile_size = int(env_tile) if env_tile else None
+        if shade_workers is None:
+            env_workers = os.environ.get("REPRO_SHADE_WORKERS", "")
+            shade_workers = int(env_workers) if env_workers else 0
+        #: Fragment-tile edge in pixels (None = automatic policy, see
+        #: pipeline.execute_draw).
+        self.tile_size = tile_size
+        #: Worker processes for fragment shading (0 = in-process).
+        self.shade_workers = shade_workers
         self.error_state = ErrorState(strict=strict_errors)
         self.stats = ContextStats()
 
@@ -93,6 +111,9 @@ class GLES2Context:
         self._attribs: Dict[int, VertexAttribState] = {}
         self._viewport = (0, 0, width, height)
         self._clear_color = (0.0, 0.0, 0.0, 0.0)
+        #: glScissor box; takes effect only while GL_SCISSOR_TEST is
+        #: enabled.  Initial box covers the window (ES 2 §4.1.2).
+        self._scissor = (0, 0, width, height)
         self._capabilities: Dict[int, bool] = {}
         self._pixel_store: Dict[int, int] = {
             enums.GL_UNPACK_ALIGNMENT: 4,
@@ -932,6 +953,18 @@ class GLES2Context:
     def glClearColor(self, r, g, b, a) -> None:
         self._clear_color = (r, g, b, a)
 
+    def glScissor(self, x: int, y: int, width: int, height: int) -> None:
+        if width < 0 or height < 0:
+            self._error(enums.GL_INVALID_VALUE, "glScissor")
+            return
+        self._scissor = (int(x), int(y), int(width), int(height))
+
+    def _active_scissor(self) -> Optional[Tuple[int, int, int, int]]:
+        """The scissor box when GL_SCISSOR_TEST is enabled, else None."""
+        if not self._capabilities.get(enums.GL_SCISSOR_TEST, False):
+            return None
+        return self._scissor
+
     def glClear(self, mask: int) -> None:
         if mask & enums.GL_COLOR_BUFFER_BIT:
             fb = self._current_framebuffer()
@@ -944,7 +977,17 @@ class GLES2Context:
             rgba = quantize_color(
                 np.array([self._clear_color]), self.quantization
             )[0]
-            buffer[:, :] = rgba
+            scissor = self._active_scissor()
+            if scissor is None:
+                buffer[:, :] = rgba
+            else:
+                # ES 2 §4.2.3: clears honour the scissor test.
+                sx, sy, sw, sh = scissor
+                fb_h, fb_w = buffer.shape[0], buffer.shape[1]
+                x0, x1 = max(sx, 0), min(sx + sw, fb_w)
+                y0, y1 = max(sy, 0), min(sy + sh, fb_h)
+                if x0 < x1 and y0 < y1:
+                    buffer[y0:y1, x0:x1] = rgba
 
     def glReadPixels(self, x: int, y: int, width: int, height: int,
                      fmt: int, type_: int) -> np.ndarray:
@@ -1031,6 +1074,9 @@ class GLES2Context:
             quantization=self.quantization,
             max_loop_iterations=self.max_loop_iterations,
             execution_backend=self.execution_backend,
+            scissor=self._active_scissor(),
+            tile_size=self.tile_size,
+            shade_workers=self.shade_workers,
         )
         self.stats.draws.append(stats)
 

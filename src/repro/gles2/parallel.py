@@ -1,0 +1,346 @@
+"""Optional multiprocess fragment shading for the JIT backend.
+
+Tiled fragment shading (``raster.partition_tiles``) makes the tiles of
+one draw independent: every fragment-stage quantity is per-lane, so
+each tile can shade anywhere as long as its results scatter back into
+the original fragment order.  This module fans those tiles across a
+lazily-created :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Only the JIT backend parallelises: its generated function is *numpy
+source by construction*, so a draw ships as
+
+* a per-draw **plan** — the generated source text, the codegen's
+  captured namespace objects (constant arrays as-is; builtin
+  implementations by their registry key, since the lambdas themselves
+  do not pickle), the float model, and the width-1 register bindings
+  (uniforms, global-initializer results, sampler Textures), and
+* per-tile **jobs** — just the wide (per-fragment) register arrays,
+  sliced for that tile.
+
+A worker rebuilds the function once per plan (cached by content
+digest) and then runs ``fn(regs, n, maxit)`` exactly as the in-process
+:class:`~repro.glsl.jit.JitExecutor` would, returning the
+output-colour register and the discard mask.  Tiles assigned to one
+worker are *merged into a single invocation*: fragment-stage math is
+per-lane, so concatenating tile slices and shading them in one batch
+is bit-identical to shading each tile alone, while paying the
+generated function's fixed per-invocation numpy-dispatch cost once
+per worker instead of once per tile (on loop-heavy kernels that fixed
+cost rivals the scaling work, and per-tile invocation erases the
+entire parallel win).  Anything that cannot be shipped (program
+outside the JIT subset, unknown captured object) or any pool failure
+makes :func:`shade_draw` return ``None`` and the pipeline falls back
+to in-process tiled shading — the AST/IR backends always take that
+path.
+
+Counter semantics: the leader charges the draw's op counters exactly
+as a monolithic ``JitExecutor.execute`` would (dynamic global-init
+tally plus the static per-invocation projection), but only after the
+workers succeed; a failed dispatch leaves the counters untouched so
+the in-process fallback can do its own accounting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..perf.counters import OpCounters
+
+#: Draws actually shaded out-of-process (observability for tests and
+#: benchmarks — asserting the pool was exercised, not silently skipped).
+parallel_draws = 0
+
+_POOL = None
+_POOL_WORKERS = 0
+_POOL_BROKEN = False
+
+
+def reset_stats() -> None:
+    global parallel_draws
+    parallel_draws = 0
+
+
+def shutdown_pool() -> None:
+    """Tear down the worker pool (test isolation / interpreter exit)."""
+    global _POOL, _POOL_WORKERS, _POOL_BROKEN
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+    _POOL = None
+    _POOL_WORKERS = 0
+    _POOL_BROKEN = False
+
+
+def _get_pool(workers: int):
+    """The shared pool, (re)created on first use or worker-count change.
+    Returns None when process pools are unavailable on this platform."""
+    global _POOL, _POOL_WORKERS, _POOL_BROKEN
+    if workers <= 0 or _POOL_BROKEN:
+        return None
+    if _POOL is not None and _POOL_WORKERS == workers:
+        return _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+    try:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            ctx = multiprocessing.get_context("spawn")
+        _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        _POOL_WORKERS = workers
+    except Exception:
+        _POOL_BROKEN = True
+        _POOL = None
+        return None
+    return _POOL
+
+
+def _mark_broken() -> None:
+    global _POOL, _POOL_WORKERS, _POOL_BROKEN
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+    _POOL = None
+    _POOL_WORKERS = 0
+    _POOL_BROKEN = True
+
+
+# ----------------------------------------------------------------------
+# Plan encoding (leader side)
+# ----------------------------------------------------------------------
+def _encode_captured(fn) -> Optional[Tuple[Dict, str]]:
+    """Picklable form of the generated function's captured namespace,
+    plus a content digest identifying (source, captured, model) for the
+    worker-side function cache.  Returns None when some captured object
+    has no shippable encoding."""
+    cached = getattr(fn, "_parallel_encoding", None)
+    if cached is not None:
+        return cached if cached != "unsupported" else None
+    from ..glsl.builtins import OVERLOADS_BY_KEY
+
+    impl_keys = {
+        id(overload.impl): key
+        for key, overload in OVERLOADS_BY_KEY.items()
+    }
+    encoded: Dict[str, Tuple[str, object]] = {}
+    digest = hashlib.sha1(fn._jit_source.encode())
+    for name in sorted(fn._jit_captured):
+        obj = fn._jit_captured[name]
+        digest.update(name.encode())
+        if isinstance(obj, np.ndarray):
+            encoded[name] = ("array", obj)
+            digest.update(str(obj.dtype).encode())
+            digest.update(str(obj.shape).encode())
+            digest.update(np.ascontiguousarray(obj).tobytes())
+        else:
+            key = impl_keys.get(id(obj))
+            if key is None:
+                fn._parallel_encoding = "unsupported"
+                return None
+            encoded[name] = ("builtin", key)
+            digest.update(key.encode())
+    result = (encoded, digest.hexdigest())
+    fn._parallel_encoding = result
+    return result
+
+
+def shade_draw(
+    fs_interp,
+    n: int,
+    presets: Dict[str, "object"],
+    tile_indices: List[np.ndarray],
+    workers: int,
+    out_name: str,
+) -> Optional[List[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]]]:
+    """Shade one tiled draw on the worker pool.
+
+    ``fs_interp`` must be a :class:`~repro.glsl.jit.JitExecutor` for
+    the fragment shader; ``presets`` the full-batch fragment presets;
+    ``out_name`` the written colour builtin (``gl_FragColor`` or
+    ``gl_FragData``).  Returns one ``(indices, color_data, discarded)``
+    triple per worker chunk — ``indices`` the original-batch positions
+    of the chunk's fragments (its tiles concatenated), the arrays
+    possibly width-1 (the caller broadcasts) — or ``None`` when the
+    draw cannot run out of process (caller falls back).
+
+    :class:`~repro.glsl.errors.GlslLimitError` raised inside a worker
+    (loop-cap overflow) propagates, matching in-process semantics.
+    """
+    global parallel_draws
+    from ..glsl.errors import GlslLimitError
+    from ..glsl.ir import get_compiled
+    from ..glsl.jit import JitExecutor, _jit_function
+    from ..glsl.values import Value, zeros_for
+
+    if not isinstance(fs_interp, JitExecutor):
+        return None
+    pool = _get_pool(workers)
+    if pool is None:
+        return None
+
+    program = fs_interp.program
+    if program is None or program.checked is not fs_interp.checked:
+        program = get_compiled(fs_interp.checked, fs_interp.fmodel)
+        fs_interp.program = program
+    wide = frozenset(
+        name for name, value in presets.items() if value.batch > 1
+    )
+    fn = _jit_function(program, fs_interp.fmodel, wide)
+    if fn is None:
+        return None
+    encoding = _encode_captured(fn)
+    if encoding is None:
+        return None
+    captured, digest = encoding
+
+    # ------------------------------------------------------------------
+    # Bind the width-1 registers exactly as JitExecutor.execute does,
+    # tallying global-initializer ops into a scratch sink that is only
+    # merged on success (see module docstring).
+    # ------------------------------------------------------------------
+    scratch = OpCounters()
+    saved_counters = fs_interp.counters
+    fs_interp.counters = scratch
+    fs_interp.n = n
+    fs_interp.globals_env = {}
+    fs_interp.consts = program.materialized_consts(fs_interp.fmodel)
+    fs_interp.regs = [None] * program.nregs
+    fs_interp.discarded = np.zeros(n, dtype=bool)
+    fs_interp.exec_mask = np.ones(n, dtype=bool)
+    fs_interp.frames = []
+    out_reg = None
+    base_regs: Dict[int, Tuple[str, object]] = {}
+    wide_regs: Dict[int, np.ndarray] = {}
+    try:
+        simple_inits = program.simple_inits()
+        for plan in program.globals_plan:
+            if plan.name in presets:
+                value = presets[plan.name]
+            elif plan.is_sampler:
+                value = Value(plan.type)
+            elif plan.init_block is not None:
+                idx = simple_inits.get(plan.name)
+                if idx is not None:
+                    gtype, data = fs_interp.consts[idx]
+                    value = Value(gtype, data)
+                else:
+                    value = fs_interp._run_global_init(program, plan)
+            else:
+                value = zeros_for(plan.type, 1, fs_interp.fmodel.dtype)
+            fs_interp.regs[plan.reg] = value
+            if plan.name == out_name:
+                out_reg = plan.reg
+            if plan.is_sampler:
+                base_regs[plan.reg] = ("sampler", value.sampler)
+            elif plan.name in wide:
+                wide_regs[plan.reg] = value.data
+            else:
+                base_regs[plan.reg] = ("data", value.data)
+    finally:
+        fs_interp.counters = saved_counters
+    if out_reg is None:
+        return None
+
+    plan_payload = {
+        "uid": digest,
+        "source": fn._jit_source,
+        "captured": captured,
+        "fmodel": fs_interp.fmodel,
+        "nregs": program.nregs,
+        "base": base_regs,
+        "out_reg": out_reg,
+        "maxit": fs_interp.max_loop_iterations,
+    }
+    # One job of contiguous tiles per worker, the tiles *merged* into a
+    # single fragment batch (see module docstring): ships the plan (and
+    # its textures) workers times per draw, and pays the generated
+    # function's fixed invocation cost workers times, not tiles times.
+    nchunks = min(workers, len(tile_indices))
+    bounds = np.linspace(0, len(tile_indices), nchunks + 1).astype(int)
+    chunk_indices = [
+        np.concatenate(tile_indices[lo:hi])
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if lo != hi
+    ]
+    futures = []
+    try:
+        for idx in chunk_indices:
+            job = {reg: data[idx] for reg, data in wide_regs.items()}
+            futures.append(pool.submit(
+                _shade_chunk, plan_payload, job, idx.shape[0]
+            ))
+        results: List[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]] = []
+        for idx, future in zip(chunk_indices, futures):
+            color, discarded = future.result()
+            results.append((idx, color, discarded))
+    except GlslLimitError:
+        # Shader semantics, not infrastructure: surface it like the
+        # in-process executors do (the pool itself is still healthy,
+        # but the counters charged below never happen — matching a
+        # monolithic run, which raises before its static accounting).
+        raise
+    except Exception:
+        _mark_broken()
+        return None
+
+    if saved_counters is not None:
+        saved_counters.merge(scratch)
+        fs_interp.counters = saved_counters
+        fs_interp._charge_static(program, n, count_globals=True)
+    parallel_draws += 1
+    return results
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _Reg:
+    """Minimal stand-in for :class:`~repro.glsl.values.Value`: the
+    generated function touches only ``.data`` and ``.sampler``."""
+
+    __slots__ = ("data", "sampler")
+
+    def __init__(self, data=None, sampler=None):
+        self.data = data
+        self.sampler = sampler
+
+
+_WORKER_FNS: Dict[str, object] = {}
+
+
+def _materialize(plan) -> object:
+    fn = _WORKER_FNS.get(plan["uid"])
+    if fn is None:
+        from ..glsl.builtins import OVERLOADS_BY_KEY
+        from ..glsl.jit.codegen import make_helpers
+
+        ns = make_helpers(plan["fmodel"])
+        for name, (kind, payload) in plan["captured"].items():
+            ns[name] = (
+                payload if kind == "array"
+                else OVERLOADS_BY_KEY[payload].impl
+            )
+        exec(compile(plan["source"], "<jit:worker>", "exec"), ns)
+        fn = _WORKER_FNS[plan["uid"]] = ns["_jit_main"]
+    return fn
+
+
+def _shade_chunk(plan, wide_regs, count):
+    """Shade one worker's merged tile chunk in a single invocation;
+    returns ``(color_data, discarded)``."""
+    fn = _materialize(plan)
+    regs: List[Optional[_Reg]] = [None] * plan["nregs"]
+    for reg, (kind, payload) in plan["base"].items():
+        if kind == "sampler":
+            regs[reg] = _Reg(sampler=payload)
+        else:
+            regs[reg] = _Reg(data=payload)
+    for reg, data in wide_regs.items():
+        regs[reg] = _Reg(data=data)
+    discarded = fn(regs, count, plan["maxit"])
+    return regs[plan["out_reg"]].data, discarded

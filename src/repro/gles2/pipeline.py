@@ -150,21 +150,35 @@ def _read_buffer_attribute(state: VertexAttribState, count: int) -> np.ndarray:
 def _normalize_attribute(data: np.ndarray, state: VertexAttribState) -> np.ndarray:
     if state.type == enums.GL_FLOAT or not state.normalized:
         return data
-    scale = {
+    if state.type in (enums.GL_BYTE, enums.GL_SHORT):
+        # ES 2.0 §2.1.2: signed normalized maps c to (2c + 1) / (2^n - 1)
+        # — symmetric around zero, hitting exactly ±1.0 at the extremes
+        # with no clamp (unlike the desktop GL 4.x c / (2^(n-1) - 1)
+        # rule this simulator previously applied).
+        divisor = 255.0 if state.type == enums.GL_BYTE else 65535.0
+        return (2.0 * data + 1.0) / divisor
+    divisor = {
         enums.GL_UNSIGNED_BYTE: 255.0,
         enums.GL_UNSIGNED_SHORT: 65535.0,
-        enums.GL_BYTE: 127.0,
-        enums.GL_SHORT: 32767.0,
     }[state.type]
-    normalized = data / scale
-    if state.type in (enums.GL_BYTE, enums.GL_SHORT):
-        normalized = np.maximum(normalized, -1.0)
-    return normalized
+    return data / divisor
 
 
 # ----------------------------------------------------------------------
 # Draw execution
 # ----------------------------------------------------------------------
+#: Default edge length of a fragment tile when tiling engages
+#: automatically (shade_workers > 0 and the draw is large enough to
+#: amortise the per-tile dispatch).  Chosen by the
+#: ``benchmarks/perf_smoke.py --sweep-tile`` sweep.
+DEFAULT_TILE_SIZE = 64
+
+#: Automatic tiling only engages above this fragment count — smaller
+#: draws are dispatch-bound, where splitting the batch only multiplies
+#: the per-draw numpy-call overhead.
+AUTO_TILE_MIN_FRAGMENTS = 2048
+
+
 def execute_draw(
     program,
     attribs: Dict[int, VertexAttribState],
@@ -177,6 +191,9 @@ def execute_draw(
     quantization: str = "round",
     max_loop_iterations: int = 65536,
     execution_backend: str = "ast",
+    scissor: Optional[Tuple[int, int, int, int]] = None,
+    tile_size: Optional[int] = None,
+    shade_workers: int = 0,
 ) -> DrawStats:
     """Run the full pipeline for one draw call, writing into
     ``color_buffer`` (an (H, W, 4) uint8 array) in place.
@@ -185,7 +202,16 @@ def execute_draw(
     typed AST (the reference vectorised semantics), ``"ir"`` executes
     the compiled linear IR (bit-identical, cached per shader),
     ``"jit"`` runs generated straight-line numpy code (bit-identical,
-    cached per shader; IR fallback outside the JIT subset)."""
+    cached per shader; IR fallback outside the JIT subset).
+
+    ``scissor`` is the (x, y, w, h) rectangle of an enabled
+    GL_SCISSOR_TEST (None when disabled): fragments outside it are
+    never generated.  ``tile_size`` splits fragment shading into
+    framebuffer-aligned square tiles (None = automatic: tile only when
+    ``shade_workers`` could use it and the draw is large); merged
+    results are bit-identical to the monolithic path.  ``shade_workers``
+    > 0 fans independent tiles across a process pool for the JIT
+    backend (in-process tiled shading otherwise)."""
     if execution_backend == "ir":
         shader_executor = IRExecutor
     elif execution_backend == "jit":
@@ -253,15 +279,20 @@ def execute_draw(
         batch = raster.rasterize_points(
             window, w_clip, index_stream, fb_width, fb_height
         )
+        if scissor is not None:
+            batch = raster.apply_scissor(batch, scissor)
     elif mode in (enums.GL_LINES, enums.GL_LINE_STRIP, enums.GL_LINE_LOOP):
         segments = raster.assemble_lines(mode, index_stream)
         batch = raster.rasterize_lines(
             window, w_clip, segments, fb_width, fb_height
         )
+        if scissor is not None:
+            batch = raster.apply_scissor(batch, scissor)
     else:
         triangles = raster.assemble_triangles(mode, index_stream)
         batch = raster.rasterize_triangles(
-            window, w_clip, triangles, fb_width, fb_height
+            window, w_clip, triangles, fb_width, fb_height,
+            scissor=scissor,
         )
     if batch.count == 0:
         return stats
@@ -294,9 +325,7 @@ def execute_draw(
     from ..glsl.types import BOOL as _BOOL, VEC4 as _VEC4, VEC2 as _VEC2
 
     fs_presets["gl_FragCoord"] = Value(_VEC4, frag_coord)
-    fs_presets["gl_FrontFacing"] = Value(
-        _BOOL, np.ones(batch.count, dtype=bool)
-    )
+    fs_presets["gl_FrontFacing"] = Value(_BOOL, batch.front)
     fs_presets["gl_PointCoord"] = Value(
         _VEC2, np.zeros((batch.count, 2), dtype=float_model.dtype)
     )
@@ -307,21 +336,43 @@ def execute_draw(
         counters=stats.fragment_ops,
         max_loop_iterations=max_loop_iterations,
     )
-    fs_env = fs_interp.execute(batch.count, fs_presets)
     stats.fragment_invocations = batch.count
+    out_name = (
+        "gl_FragData"
+        if "gl_FragData" in program.fragment.written_builtins
+        else "gl_FragColor"
+    )
+
+    tile_indices = None
+    if tile_size is not None and tile_size > 0:
+        ts = tile_size
+    elif shade_workers > 0 and batch.count > AUTO_TILE_MIN_FRAGMENTS:
+        ts = DEFAULT_TILE_SIZE
+    else:
+        ts = 0
+    if ts:
+        parts = raster.partition_tiles(batch, ts)
+        if len(parts) > 1:
+            tile_indices = parts
+
+    if tile_indices is None:
+        fs_env = fs_interp.execute(batch.count, fs_presets)
+        color = _extract_color(fs_env, out_name, batch.count)
+        color = color.astype(np.float64)
+        discarded = fs_interp.discarded
+    else:
+        color, discarded = _shade_tiled(
+            fs_interp, fs_presets, tile_indices, batch.count,
+            out_name, execution_backend, shade_workers,
+        )
+
+    keep = ~discarded
+    stats.discarded_fragments = int((~keep).sum())
 
     # ------------------------------------------------------------------
     # 4. Output selection and framebuffer write (paper eq. (2)).
     # ------------------------------------------------------------------
-    if "gl_FragData" in program.fragment.written_builtins:
-        color = fs_env["gl_FragData"].data
-        color = np.broadcast_to(color, (batch.count, 1, 4))[:, 0, :]
-    else:
-        color = np.broadcast_to(fs_env["gl_FragColor"].data, (batch.count, 4))
-    keep = ~fs_interp.discarded
-    stats.discarded_fragments = int((~keep).sum())
-
-    quantised = quantize_color(color.astype(np.float64), quantization)
+    quantised = quantize_color(color, quantization)
     if _capture_hook is not None:
         _capture_hook(
             FragmentCapture(
@@ -329,8 +380,8 @@ def execute_draw(
                 fs_presets=fs_presets,
                 px=batch.px.copy(),
                 py=batch.py.copy(),
-                discarded=fs_interp.discarded.copy(),
-                colors=color.astype(np.float64).copy(),
+                discarded=discarded.copy(),
+                colors=color.copy(),
                 quantised=quantised.copy(),
                 quantization=quantization,
             )
@@ -340,6 +391,92 @@ def execute_draw(
     color_buffer[py, px] = quantised[keep]
     stats.framebuffer_writes = int(keep.sum())
     return stats
+
+
+def _extract_color(fs_env, out_name: str, n: int) -> np.ndarray:
+    """The written colour builtin as an (n, 4) array."""
+    if out_name == "gl_FragData":
+        color = fs_env["gl_FragData"].data
+        return np.broadcast_to(color, (n, 1, 4))[:, 0, :]
+    return np.broadcast_to(fs_env["gl_FragColor"].data, (n, 4))
+
+
+def _slice_presets(presets: Dict[str, Value], idx: np.ndarray) -> Dict[str, Value]:
+    """Per-tile view of the fragment presets: wide (per-fragment)
+    values are sliced to the tile's fragments, uniform (width-1)
+    values shared as-is.  Executors never mutate preset values (the
+    no-in-place invariant), so sharing is safe."""
+    sliced = {}
+    for name, value in presets.items():
+        if value.fields is None and value.data is not None and value.batch > 1:
+            sliced[name] = Value(value.type, value.data[idx])
+        else:
+            sliced[name] = value
+    return sliced
+
+
+def _shade_tiled(
+    fs_interp,
+    fs_presets: Dict[str, Value],
+    tile_indices,
+    count: int,
+    out_name: str,
+    execution_backend: str,
+    shade_workers: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shade a partitioned fragment batch tile by tile, reassembling
+    full-batch (count, 4) float64 colours and the (count,) discard
+    mask in original fragment order.
+
+    Bit-identity with the monolithic path holds because every
+    fragment-stage computation is per-lane elementwise: running the
+    shader on a slice of the interpolated presets produces exactly the
+    slice of the monolithic results.  Tiles partition the fragments,
+    so the scatter below is a permutation-free reassembly.
+
+    When ``shade_workers`` > 0 and the backend is the JIT, tiles fan
+    out across the worker pool (see :mod:`repro.gles2.parallel`);
+    otherwise — and whenever the pool or the program cannot ship — the
+    loop below shades in-process.  Global initializers are per-draw
+    work, so only the first tile tallies them (``count_globals``).
+    """
+    color = np.empty((count, 4), dtype=np.float64)
+    discarded = np.empty(count, dtype=bool)
+
+    if shade_workers > 0 and execution_backend == "jit":
+        from . import parallel
+
+        results = parallel.shade_draw(
+            fs_interp, count, fs_presets, tile_indices, shade_workers,
+            out_name,
+        )
+        if results is not None:
+            for idx, chunk_color, chunk_discarded in results:
+                cn = idx.shape[0]
+                if out_name == "gl_FragData":
+                    chunk_color = np.broadcast_to(
+                        chunk_color, (cn, 1, 4)
+                    )[:, 0, :]
+                else:
+                    chunk_color = np.broadcast_to(chunk_color, (cn, 4))
+                color[idx] = chunk_color.astype(np.float64)
+                if chunk_discarded is None:
+                    discarded[idx] = False
+                elif chunk_discarded.shape[0] == cn:
+                    discarded[idx] = chunk_discarded
+                else:
+                    discarded[idx] = bool(chunk_discarded[0])
+            return color, discarded
+
+    for i, idx in enumerate(tile_indices):
+        tile_presets = _slice_presets(fs_presets, idx)
+        fs_env = fs_interp.execute(
+            idx.shape[0], tile_presets, count_globals=(i == 0)
+        )
+        tile_color = _extract_color(fs_env, out_name, idx.shape[0])
+        color[idx] = tile_color.astype(np.float64)
+        discarded[idx] = fs_interp.discarded
+    return color, discarded
 
 
 def quantize_color(color: np.ndarray, mode: str = "round") -> np.ndarray:

@@ -78,10 +78,75 @@ class FragmentBatch:
     persp: np.ndarray  # (F, 3) float64, sums to 1
     frag_z: np.ndarray  # (F,) window-space depth in [0, 1]
     frag_w: np.ndarray  # (F,) 1 / w_clip interpolated
+    #: (F,) bool — gl_FrontFacing per fragment.  Triangles derive it
+    #: from the sign of the window-space area (GL_CCW front faces);
+    #: points and lines are always front-facing (GL ES 2 §3.5.1).
+    front: np.ndarray = None
+
+    def __post_init__(self):
+        if self.front is None:
+            self.front = np.ones(self.px.shape[0], dtype=bool)
 
     @property
     def count(self) -> int:
         return self.px.shape[0]
+
+    def select(self, indices: np.ndarray) -> "FragmentBatch":
+        """A sub-batch holding the fragments at ``indices`` (fancy
+        indexing, so the sub-batch owns fresh arrays)."""
+        return FragmentBatch(
+            px=self.px[indices],
+            py=self.py[indices],
+            vertex_ids=self.vertex_ids[indices],
+            bary=self.bary[indices],
+            persp=self.persp[indices],
+            frag_z=self.frag_z[indices],
+            frag_w=self.frag_w[indices],
+            front=self.front[indices],
+        )
+
+
+def partition_tiles(batch: FragmentBatch, tile_size: int) -> List[np.ndarray]:
+    """Split a fragment batch into framebuffer-aligned square tiles.
+
+    Returns one int64 index array per non-empty ``tile_size`` ×
+    ``tile_size`` pixel tile, in row-major tile order.  Each index
+    array selects that tile's fragments *in their original batch
+    order*, so per-tile processing followed by a scatter through the
+    returned indices reassembles every per-fragment quantity — and,
+    because tiles partition by pixel position, all fragments competing
+    for one pixel stay in the same tile with their relative order
+    intact (last-writer-wins framebuffer semantics are preserved).
+    """
+    if tile_size <= 0 or batch.count == 0:
+        return [np.arange(batch.count, dtype=np.int64)]
+    tx = batch.px // tile_size
+    ty = batch.py // tile_size
+    width_tiles = int(tx.max()) + 1 if tx.size else 1
+    tile_id = ty * width_tiles + tx
+    order = np.argsort(tile_id, kind="stable")
+    sorted_ids = tile_id[order]
+    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+    return [
+        chunk.astype(np.int64, copy=False)
+        for chunk in np.split(order, boundaries)
+    ]
+
+
+def apply_scissor(
+    batch: FragmentBatch, scissor: Tuple[int, int, int, int]
+) -> FragmentBatch:
+    """Discard fragments outside the scissor rectangle (used for the
+    point/line paths; the triangle rasteriser clips its bounding boxes
+    against the scissor directly)."""
+    sx, sy, sw, sh = scissor
+    keep = (
+        (batch.px >= sx) & (batch.px < sx + sw)
+        & (batch.py >= sy) & (batch.py < sy + sh)
+    )
+    if keep.all():
+        return batch
+    return batch.select(np.flatnonzero(keep))
 
 
 def viewport_transform(
@@ -175,6 +240,7 @@ def _rasterize_triangles(
     all_persp: List[np.ndarray] = []
     all_z: List[np.ndarray] = []
     all_w: List[np.ndarray] = []
+    all_front: List[np.ndarray] = []
 
     min_x, min_y = 0, 0
     max_x, max_y = fb_width, fb_height
@@ -255,6 +321,9 @@ def _rasterize_triangles(
         all_persp.append(persp)
         all_z.append(frag_z)
         all_w.append(frag_inv_w)
+        # Positive signed area means the projected winding is CCW —
+        # the default front face (glFrontFace(GL_CCW)).
+        all_front.append(np.full(ix.shape[0], area > 0.0, dtype=bool))
 
     if not all_px:
         empty_f = np.zeros((0,), dtype=np.float64)
@@ -275,6 +344,7 @@ def _rasterize_triangles(
         persp=np.concatenate(all_persp),
         frag_z=np.concatenate(all_z),
         frag_w=np.concatenate(all_w),
+        front=np.concatenate(all_front),
     )
 
 

@@ -136,7 +136,8 @@ class Interpreter:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def execute(self, n: int, presets: Dict[str, Value]) -> Dict[str, Value]:
+    def execute(self, n: int, presets: Dict[str, Value],
+                count_globals: bool = True) -> Dict[str, Value]:
         """Run ``main()`` over a batch of ``n`` lanes.
 
         ``presets`` seeds global variables (attributes, uniforms,
@@ -144,6 +145,13 @@ class Interpreter:
         environment; the caller extracts outputs (gl_Position,
         varyings, gl_FragColor) and the discard mask is available as
         :attr:`discarded`.
+
+        Global initializers run once per ``execute`` call at batch
+        width 1, so a caller splitting one draw into several batches
+        (fragment tiling) would tally them once per tile instead of
+        once per draw; such callers pass ``count_globals=False`` on
+        every batch but the first to keep the merged counters equal to
+        a monolithic run.
         """
         self.n = n
         self.exec_mask = np.ones(n, dtype=bool)
@@ -151,15 +159,21 @@ class Interpreter:
         self.globals_env = {}
         self.frames = []
 
-        for name, symbol in self.checked.globals.items():
-            if name in presets:
-                self.globals_env[name] = presets[name]
-            elif symbol.type.is_sampler():
-                self.globals_env[name] = Value(symbol.type)
-            elif symbol.initializer is not None:
-                self.globals_env[name] = self._materialize_global_init(symbol)
-            else:
-                self.globals_env[name] = zeros_for(symbol.type, 1, self.fmodel.dtype)
+        saved_counters = self.counters
+        if not count_globals:
+            self.counters = None
+        try:
+            for name, symbol in self.checked.globals.items():
+                if name in presets:
+                    self.globals_env[name] = presets[name]
+                elif symbol.type.is_sampler():
+                    self.globals_env[name] = Value(symbol.type)
+                elif symbol.initializer is not None:
+                    self.globals_env[name] = self._materialize_global_init(symbol)
+                else:
+                    self.globals_env[name] = zeros_for(symbol.type, 1, self.fmodel.dtype)
+        finally:
+            self.counters = saved_counters
         for name, value in presets.items():
             self.globals_env.setdefault(name, value)
 

@@ -200,7 +200,8 @@ class IRExecutor(Interpreter):
             counters.add(category, lanes * per_lane_ops)
 
     # ------------------------------------------------------------------
-    def execute(self, n: int, presets: Dict[str, Value]) -> Dict[str, Value]:
+    def execute(self, n: int, presets: Dict[str, Value],
+                count_globals: bool = True) -> Dict[str, Value]:
         from . import get_compiled
 
         program = self.program
@@ -220,24 +221,32 @@ class IRExecutor(Interpreter):
         self.consts = program.materialized_consts(self.fmodel)
         self.regs = [None] * program.nregs
 
-        simple_inits = program.simple_inits()
-        for plan in program.globals_plan:
-            if plan.name in presets:
-                value = presets[plan.name]
-            elif plan.is_sampler:
-                value = Value(plan.type)
-            elif plan.init_block is not None:
-                idx = simple_inits.get(plan.name)
-                if idx is not None:
-                    # Folded-to-constant initialiser: no frame needed.
-                    gtype, data = self.consts[idx]
-                    value = Value(gtype, data)
+        # Per-draw (not per-lane) init work: see Interpreter.execute on
+        # why tiled callers mute it for all tiles but the first.
+        saved_counters = self.counters
+        if not count_globals:
+            self.counters = None
+        try:
+            simple_inits = program.simple_inits()
+            for plan in program.globals_plan:
+                if plan.name in presets:
+                    value = presets[plan.name]
+                elif plan.is_sampler:
+                    value = Value(plan.type)
+                elif plan.init_block is not None:
+                    idx = simple_inits.get(plan.name)
+                    if idx is not None:
+                        # Folded-to-constant initialiser: no frame needed.
+                        gtype, data = self.consts[idx]
+                        value = Value(gtype, data)
+                    else:
+                        value = self._run_global_init(program, plan)
                 else:
-                    value = self._run_global_init(program, plan)
-            else:
-                value = zeros_for(plan.type, 1, self.fmodel.dtype)
-            self.regs[plan.reg] = value
-            self.globals_env[plan.name] = value
+                    value = zeros_for(plan.type, 1, self.fmodel.dtype)
+                self.regs[plan.reg] = value
+                self.globals_env[plan.name] = value
+        finally:
+            self.counters = saved_counters
         for name, value in presets.items():
             self.globals_env.setdefault(name, value)
 

@@ -97,7 +97,8 @@ class JitExecutor(IRExecutor):
     instructions.  Same constructor, same ``execute(n, presets)``
     contract, bit-identical observable results."""
 
-    def execute(self, n: int, presets: Dict[str, Value]) -> Dict[str, Value]:
+    def execute(self, n: int, presets: Dict[str, Value],
+                count_globals: bool = True) -> Dict[str, Value]:
         program = self.program
         if program is None or program.checked is not self.checked:
             program = get_compiled(self.checked, self.fmodel)
@@ -110,7 +111,7 @@ class JitExecutor(IRExecutor):
         fn = _jit_function(program, self.fmodel, wide)
         if fn is None:
             _bump_fallbacks()
-            return super().execute(n, presets)
+            return super().execute(n, presets, count_globals)
 
         # Same preset/global binding as IRExecutor.execute.  The IR
         # dispatch state (exec_mask, control stacks, frames) is not
@@ -121,23 +122,29 @@ class JitExecutor(IRExecutor):
         self.consts = program.materialized_consts(self.fmodel)
         self.regs = [None] * program.nregs
 
-        simple_inits = program.simple_inits()
-        for plan in program.globals_plan:
-            if plan.name in presets:
-                value = presets[plan.name]
-            elif plan.is_sampler:
-                value = Value(plan.type)
-            elif plan.init_block is not None:
-                idx = simple_inits.get(plan.name)
-                if idx is not None:
-                    gtype, data = self.consts[idx]
-                    value = Value(gtype, data)
+        saved_counters = self.counters
+        if not count_globals:
+            self.counters = None
+        try:
+            simple_inits = program.simple_inits()
+            for plan in program.globals_plan:
+                if plan.name in presets:
+                    value = presets[plan.name]
+                elif plan.is_sampler:
+                    value = Value(plan.type)
+                elif plan.init_block is not None:
+                    idx = simple_inits.get(plan.name)
+                    if idx is not None:
+                        gtype, data = self.consts[idx]
+                        value = Value(gtype, data)
+                    else:
+                        value = self._run_global_init(program, plan)
                 else:
-                    value = self._run_global_init(program, plan)
-            else:
-                value = zeros_for(plan.type, 1, self.fmodel.dtype)
-            self.regs[plan.reg] = value
-            self.globals_env[plan.name] = value
+                    value = zeros_for(plan.type, 1, self.fmodel.dtype)
+                self.regs[plan.reg] = value
+                self.globals_env[plan.name] = value
+        finally:
+            self.counters = saved_counters
         for name, value in presets.items():
             self.globals_env.setdefault(name, value)
 
@@ -150,26 +157,40 @@ class JitExecutor(IRExecutor):
             # writeback, so nothing is half-written: run the draw on
             # the IR executor instead (full re-setup included).
             _bump_fallbacks()
-            return super().execute(n, presets)
+            return super().execute(n, presets, count_globals)
         if discarded is not None:
             self.discarded = self._broadcast_mask(discarded)
         else:
             self.discarded = np.zeros(n, dtype=bool)
 
         if self.counters is not None:
-            totals_cache = getattr(program, "_static_totals", None)
-            if totals_cache is None:
-                totals_cache = program._static_totals = {}
-            totals = totals_cache.get(n)
-            if totals is None:
-                cost = getattr(program, "_static_cost", None)
-                if cost is None:
-                    cost = program._static_cost = static_cost(program)
-                totals = totals_cache[n] = [
-                    (category, count)
-                    for category, count in cost.totals(n).items()
-                    if count
-                ]
-            for category, count in totals:
-                self.counters.add(category, count)
+            self._charge_static(program, n, count_globals)
         return self.globals_env
+
+    def _charge_static(self, program, n: int, count_globals: bool) -> None:
+        """Charge the static counter projection for a draw of ``n``
+        lanes.  The projection splits per-invocation from per-draw
+        (global-initializer) cost; tiled callers charge the per-draw
+        part on the first tile only, mirroring the dynamic executors'
+        count_globals semantics."""
+        if self.counters is None:
+            return
+        totals_cache = getattr(program, "_static_totals", None)
+        if totals_cache is None:
+            totals_cache = program._static_totals = {}
+        totals = totals_cache.get((n, count_globals))
+        if totals is None:
+            cost = getattr(program, "_static_cost", None)
+            if cost is None:
+                cost = program._static_cost = static_cost(program)
+            projected = dict(cost.totals(n))
+            if not count_globals:
+                for category, ops in cost.per_draw.items():
+                    projected[category] = projected.get(category, 0) - ops
+            totals = totals_cache[(n, count_globals)] = [
+                (category, count)
+                for category, count in projected.items()
+                if count
+            ]
+        for category, count in totals:
+            self.counters.add(category, count)

@@ -1096,4 +1096,9 @@ def generate(program: CompiledProgram, fmodel, wide_globals: Set[str]):
     exec(code, ns)
     fn = ns["_jit_main"]
     fn._jit_source = source
+    # Captured objects only (the `make_helpers` closures are rebuilt
+    # from the float model at the destination): together with the
+    # source this is everything a worker process needs to rematerialise
+    # the function — see repro.gles2.parallel.
+    fn._jit_captured = dict(gen.ns)
     return fn

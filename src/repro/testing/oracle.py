@@ -174,6 +174,8 @@ def draw_for_capture(
     textures: Optional[Dict[str, np.ndarray]] = None,
     vertex_source: str = STANDARD_VERTEX_SHADER,
     execution_backend: str = "ast",
+    tile_size: Optional[int] = None,
+    shade_workers: Optional[int] = None,
 ):
     """Draw a fullscreen quad with ``fragment_source`` and capture the
     per-fragment state.  Returns ``(framebuffer, capture)``.
@@ -183,11 +185,14 @@ def draw_for_capture(
     ``vertex_source`` may replace the standard quad shader (e.g. the
     codegen pass-through shader, whose varying is ``v_coord``).
     ``execution_backend`` selects how the pipeline itself runs the
-    shaders ("ast", "ir" or "jit").
+    shaders ("ast", "ir" or "jit"); ``tile_size`` / ``shade_workers``
+    select tiled and multiprocess fragment shading (the tiled-vs-
+    monolithic bit-identity tests drive these).
     """
     ctx = GLES2Context(
         width=size, height=size, float_model="exact",
         quantization=quantization, execution_backend=execution_backend,
+        tile_size=tile_size, shade_workers=shade_workers,
     )
     vs = ctx.glCreateShader(gl.GL_VERTEX_SHADER)
     ctx.glShaderSource(vs, vertex_source)
