@@ -91,6 +91,15 @@ def _cache_stats(stats, backend, dev, request_again, launch):
     )
 
 
+def _gather_stats(stats, backend, dev):
+    """Texture-gather engagement of the most recent draw: >0 gathers
+    and 0 fallbacks on the JIT backend means every kernel fetch took
+    the direct texel-storage path (zero on AST/IR by definition)."""
+    draw = dev.ctx.stats.draws[-1]
+    stats[backend]["texture_gathers"] = draw.texture_gathers
+    stats[backend]["gather_fallbacks"] = draw.gather_fallbacks
+
+
 def _sum_launch(backend):
     dev = GpgpuDevice(float_model="videocore", execution_backend=backend)
     rng = np.random.default_rng(0)
@@ -115,6 +124,7 @@ def bench_sum():
         )
         _cache_stats(stats, backend, dev,
                      lambda dev=dev: make_sum_kernel(dev, "int32"), launch)
+        _gather_stats(stats, backend, dev)
     return stats
 
 
@@ -165,6 +175,7 @@ def bench_sgemm(n=SGEMM_N, backends=BACKENDS, include_workers=False,
             lambda dev=dev, size=size: make_sgemm_kernel(dev, "float32", size),
             launch,
         )
+        _gather_stats(stats, backend, dev)
     if include_workers:
         from repro.gles2 import parallel
 
@@ -268,6 +279,22 @@ def main(argv=None):
             print(f"{name} speedup (jit/jit+workers): {ratio:.3f}x")
         per_backend["size"] = size
         report["workloads"][name] = per_backend
+
+    # The gather fast path must actually engage on the kernel
+    # workloads: a silent loss (e.g. a codegen-template rephrase that
+    # breaks the IR annotation match) fails the bench run itself.
+    for wname in ("sum_int32", "sgemm_float32", "sgemm_float32_128"):
+        jit_stats = report["workloads"][wname]["jit"]
+        if jit_stats.get("texture_gathers", 0) <= 0:
+            raise SystemExit(
+                f"{wname}: JIT draw reported no texture gathers — the "
+                "gather fast path was lost (see repro.glsl.ir.gather)"
+            )
+        if jit_stats.get("gather_fallbacks", 0) != 0:
+            raise SystemExit(
+                f"{wname}: JIT draw hit gather fallbacks on a kernel "
+                "whose fetches must all qualify"
+            )
 
     if args.sweep_tile:
         report["tile_sweep_sgemm_128"] = sweep_tile()

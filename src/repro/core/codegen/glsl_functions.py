@@ -17,6 +17,17 @@ from __future__ import annotations
 #: Challenge (3)/(4): 1-D array index <-> normalised 2-D texture
 #: coordinates, after Lefohn et al. / Purcell et al., adapted to
 #: normalised-only coordinates.
+#:
+#: Contract note: the exact shape of ``gpgpu_index_to_coord`` —
+#: ``mod``/``floor`` of the flat index by ``size.x``, texel-centre
+#: ``+ 0.5``, divide by ``size`` — is load-bearing beyond correctness.
+#: The IR-level gather annotation (:mod:`repro.glsl.ir.gather`)
+#: pattern-matches this chain to prove sample coordinates address
+#: texel centres, which lets the JIT replace the whole wrap/scale/
+#: filter pipeline on kernel fetches with direct texel gathers.
+#: Rephrasing the arithmetic (e.g. hoisting the divide, fusing the
+#: +0.5) keeps kernels correct but silently loses that fast path —
+#: ``tests/test_texture_gather.py`` pins the match on every kernel.
 ADDRESSING_GLSL = """
 vec2 gpgpu_index_to_coord(float index, vec2 size) {
     float x = mod(index, size.x);

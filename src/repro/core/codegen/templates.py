@@ -158,6 +158,11 @@ def generate_kernel_source(
 
     lines.append(helper_block)
 
+    # The fetch helpers route every input read through
+    # gpgpu_index_to_coord; keeping that call shape intact is what
+    # makes the JIT's texture-gather fast path fire on kernel fetches
+    # (see the contract note in glsl_functions.ADDRESSING_GLSL and
+    # repro.glsl.ir.gather).
     for iname, fmt in input_formats:
         lines.append(
             f"float fetch_{iname}(float index) {{\n"

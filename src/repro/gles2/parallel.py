@@ -275,8 +275,12 @@ def shade_draw(
                 _shade_chunk, plan_payload, job, idx.shape[0]
             ))
         results: List[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]] = []
+        gathers = fallbacks = 0
         for idx, future in zip(chunk_indices, futures):
-            color, discarded = future.result()
+            color, discarded, (chunk_gathers, chunk_fallbacks) = \
+                future.result()
+            gathers += chunk_gathers
+            fallbacks += chunk_fallbacks
             results.append((idx, color, discarded))
     except GlslLimitError:
         # Shader semantics, not infrastructure: surface it like the
@@ -292,6 +296,11 @@ def shade_draw(
         saved_counters.merge(scratch)
         fs_interp.counters = saved_counters
         fs_interp._charge_static(program, n, count_globals=True)
+    # Workers ran the same generated function the leader would have:
+    # fold their gather tallies back onto the draw's executor so
+    # DrawStats is identical to an in-process tiled run.
+    fs_interp.texture_gathers += gathers
+    fs_interp.gather_fallbacks += fallbacks
     parallel_draws += 1
     return results
 
@@ -332,7 +341,9 @@ def _materialize(plan) -> object:
 
 def _shade_chunk(plan, wide_regs, count):
     """Shade one worker's merged tile chunk in a single invocation;
-    returns ``(color_data, discarded)``."""
+    returns ``(color_data, discarded, (gathers, fallbacks))`` — the
+    last element the chunk's texture-gather delta (the leader folds it
+    back into the draw's executor)."""
     fn = _materialize(plan)
     regs: List[Optional[_Reg]] = [None] * plan["nregs"]
     for reg, (kind, payload) in plan["base"].items():
@@ -342,5 +353,9 @@ def _shade_chunk(plan, wide_regs, count):
             regs[reg] = _Reg(data=payload)
     for reg, data in wide_regs.items():
         regs[reg] = _Reg(data=data)
+    gst = fn.__globals__.get("_gst")
+    before = tuple(gst) if gst is not None else (0, 0)
     discarded = fn(regs, count, plan["maxit"])
-    return regs[plan["out_reg"]].data, discarded
+    delta = ((gst[0] - before[0], gst[1] - before[1])
+             if gst is not None else (0, 0))
+    return regs[plan["out_reg"]].data, discarded, delta

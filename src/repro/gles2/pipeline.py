@@ -368,6 +368,18 @@ def execute_draw(
 
     keep = ~discarded
     stats.discarded_fragments = int((~keep).sum())
+    # Texture-gather tallies (JIT fast path; zero elsewhere).  Both
+    # executors are draw-scoped, so their accumulated counts — across
+    # tiles, and including worker contributions merged back by
+    # parallel.shade_draw — are exactly this draw's totals.
+    stats.texture_gathers = (
+        getattr(vs_interp, "texture_gathers", 0)
+        + getattr(fs_interp, "texture_gathers", 0)
+    )
+    stats.gather_fallbacks = (
+        getattr(vs_interp, "gather_fallbacks", 0)
+        + getattr(fs_interp, "gather_fallbacks", 0)
+    )
 
     # ------------------------------------------------------------------
     # 4. Output selection and framebuffer write (paper eq. (2)).

@@ -128,6 +128,34 @@ class Texture:
         return True
 
     # ------------------------------------------------------------------
+    def gather_info(self, width: float, height: float) -> Optional[np.ndarray]:
+        """Texel storage for the JIT's direct-gather fast path, or None.
+
+        The gather replaces the whole :meth:`sample` pipeline with
+        ``data[y, x]``, which is only equivalent to nearest sampling
+        of texel-centre coordinates when every stage it skips is the
+        identity: the texture must be complete (else samples are
+        constant black), magnified with NEAREST (no bilinear blend),
+        wrapped CLAMP_TO_EDGE on both axes (identity on in-range
+        indices), and its dimensions must equal the kernel's size
+        uniform (``width``/``height``, floats from the shader) so the
+        in-range proof carried by the IR annotation applies to *this*
+        storage.  Dimensions are capped at 2^20 so the float32
+        texel-centre round-trip ``floor(((x+0.5)/W)*W) == x`` is exact
+        (see :mod:`repro.glsl.ir.gather`).
+        """
+        if (self.data is None
+                or float(self.width) != width
+                or float(self.height) != height
+                or self.width > 1 << 20 or self.height > 1 << 20
+                or self.params[enums.GL_TEXTURE_MAG_FILTER] != enums.GL_NEAREST
+                or self.params[enums.GL_TEXTURE_WRAP_S] != enums.GL_CLAMP_TO_EDGE
+                or self.params[enums.GL_TEXTURE_WRAP_T] != enums.GL_CLAMP_TO_EDGE
+                or not self.is_complete()):
+            return None
+        return self.data
+
+    # ------------------------------------------------------------------
     # Sampling (vectorised over fragments)
     # ------------------------------------------------------------------
     def sample(self, s: np.ndarray, t: np.ndarray) -> np.ndarray:

@@ -19,6 +19,7 @@ import numpy as np
 
 from .cost import StaticCost, static_cost
 from .executor import IRExecutor, flatten_program
+from .gather import annotate_gathers
 from .lower import Lowerer, lower_shader
 from .nodes import CompiledProgram, Instr, dump_ir
 from .passes import run_passes
@@ -29,6 +30,7 @@ __all__ = [
     "Instr",
     "Lowerer",
     "StaticCost",
+    "annotate_gathers",
     "compile_ir",
     "dump_ir",
     "flatten_program",

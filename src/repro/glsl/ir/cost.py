@@ -144,6 +144,13 @@ class StaticCost:
     per_draw: Dict[str, int]
     #: True when the counts are guaranteed to equal the dynamic tally
     exact: bool
+    #: texture sites carrying the gather annotation (see
+    #: :mod:`repro.glsl.ir.gather`) — the sites the JIT turns into
+    #: direct texel gathers.  Informational: gathers still count as
+    #: ``tex`` ops in :meth:`totals` (the fetch happens either way, it
+    #: just skips wrap/scale/filter dispatch), so the dynamic-parity
+    #: guarantee of the projection is unchanged.
+    gather_sites: int = 0
 
     def totals(self, invocations: int) -> Dict[str, int]:
         """Projected dynamic counter totals for a draw shading
@@ -154,6 +161,22 @@ class StaticCost:
             + self.per_draw.get(cat, 0)
             for cat in cats
         }
+
+
+def _count_gather_sites(block: Optional[Block]) -> int:
+    if block is None:
+        return 0
+    sites = 0
+    for item in block.items:
+        if isinstance(item, Instr):
+            if item.op == "texture" and getattr(item, "gather", None):
+                sites += 1
+        else:
+            for slot in item.__slots__:
+                value = getattr(item, slot)
+                if isinstance(value, Block):
+                    sites += _count_gather_sites(value)
+    return sites
 
 
 def static_cost(program: CompiledProgram) -> StaticCost:
@@ -167,4 +190,5 @@ def static_cost(program: CompiledProgram) -> StaticCost:
         per_invocation=dict(body.counts),
         per_draw=dict(draw.counts),
         exact=body.exact and draw.exact,
+        gather_sites=_count_gather_sites(program.body),
     )

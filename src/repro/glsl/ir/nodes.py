@@ -66,16 +66,27 @@ class Instr:
     type:
         The result :class:`~repro.glsl.types.GlslType` where the
         executor needs it (arith/construct/index/...).
+    gather:
+        Texture instructions only: ``(size_reg, x_reg, y_reg)`` when
+        the annotation pass (:mod:`repro.glsl.ir.gather`) proved the
+        sample coordinates are the kernel codegen's texel-centre form
+        ``(vec2(x, y) + 0.5) / size`` — i.e. integer texel indices
+        ``x``/``y`` divided back out of normalised space.  Backends
+        may then gather texel storage directly once the runtime
+        qualification (sampler complete, NEAREST + CLAMP_TO_EDGE,
+        indices in-range) holds; None everywhere else.
     """
 
-    __slots__ = ("op", "out", "args", "imm", "type")
+    __slots__ = ("op", "out", "args", "imm", "type", "gather")
 
-    def __init__(self, op, out=None, args=(), imm=None, type=None):
+    def __init__(self, op, out=None, args=(), imm=None, type=None,
+                 gather=None):
         self.op = op
         self.out = out
         self.args = tuple(args)
         self.imm = imm
         self.type = type
+        self.gather = gather
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Instr({format_instr(self)})"
@@ -254,6 +265,9 @@ def format_instr(ins: Instr) -> str:
         parts.append(imm)
     if ins.type is not None:
         parts.append(f": {ins.type}")
+    if getattr(ins, "gather", None) is not None:
+        size_reg, x_reg, y_reg = ins.gather
+        parts.append(f"gather(size=r{size_reg}, x=r{x_reg}, y=r{y_reg})")
     return " ".join(parts)
 
 

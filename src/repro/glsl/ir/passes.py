@@ -1247,4 +1247,9 @@ def run_passes(program: CompiledProgram, fmodel) -> CompiledProgram:
         if not changed:
             break
     compact_pool(program)
+    # Annotation, not transformation: runs last so constant-pool
+    # indices are final and the matched chain is the one backends see.
+    from .gather import annotate_gathers
+
+    annotate_gathers(program)
     return program

@@ -32,19 +32,29 @@ from typing import Dict, FrozenSet, Optional
 
 import numpy as np
 
+import contextlib
+
 from ..values import Value, zeros_for
 from ..ir import get_compiled, static_cost
 from ..ir.executor import IRExecutor
-from .codegen import JitUnsupported, generate
+from .codegen import (
+    JitUnsupported,
+    gather_enabled,
+    generate,
+    set_gather_enabled,
+)
 from .uniform import UniformInfo, infer_uniform
 
 __all__ = [
     "JitExecutor",
     "JitUnsupported",
     "UniformInfo",
+    "gather_enabled",
     "infer_uniform",
     "jit_fallbacks",
     "reset_fallbacks",
+    "set_gather_enabled",
+    "texture_gather",
 ]
 
 #: Number of draws that fell back to the IRExecutor because the
@@ -62,8 +72,22 @@ def _bump_fallbacks() -> None:
     jit_fallbacks += 1
 
 
+@contextlib.contextmanager
+def texture_gather(enabled: bool):
+    """Scoped override of the texture-gather fast path (tests, A/B
+    comparison).  Generation-time flag: functions generated inside the
+    scope carry the override for their lifetime; functions cached
+    earlier are untouched (the cache is keyed on the flag)."""
+    previous = set_gather_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_gather_enabled(previous)
+
+
 def _jit_function(program, fmodel, wide: FrozenSet[str]):
-    """Cached codegen: one compiled function per (program, wide set).
+    """Cached codegen: one compiled function per (program, wide set,
+    gather flag).
 
     ``program`` instances are already memoised per (shader, float
     model) by :func:`repro.glsl.ir.get_compiled`, so attaching the JIT
@@ -75,19 +99,20 @@ def _jit_function(program, fmodel, wide: FrozenSet[str]):
     cache = getattr(program, "_jit_cache", None)
     if cache is None:
         cache = program._jit_cache = {}
-    if wide in cache:
-        return cache[wide]
+    key = (wide, gather_enabled())
+    if key in cache:
+        return cache[key]
     rejected = getattr(program, "_jit_unsupported", None)
     if rejected is None:
         rejected = program._jit_unsupported = {}
-    if wide in rejected:
+    if key in rejected:
         return None
     try:
         fn = generate(program, fmodel, wide)
     except JitUnsupported as exc:
-        rejected[wide] = str(exc)
+        rejected[key] = str(exc)
         return None
-    cache[wide] = fn
+    cache[key] = fn
     return fn
 
 
@@ -96,6 +121,14 @@ class JitExecutor(IRExecutor):
     generated straight-line numpy function instead of dispatching IR
     instructions.  Same constructor, same ``execute(n, presets)``
     contract, bit-identical observable results."""
+
+    #: Texture-gather tallies, accumulated across this executor's
+    #: ``execute`` calls (one executor serves one draw, so tiled draws
+    #: sum naturally).  One count per gather-site execution: a site
+    #: inside a loop counts once per iteration, matching how often the
+    #: wrap/scale/filter pipeline it replaces would have run.
+    texture_gathers = 0
+    gather_fallbacks = 0
 
     def execute(self, n: int, presets: Dict[str, Value],
                 count_globals: bool = True) -> Dict[str, Value]:
@@ -148,6 +181,8 @@ class JitExecutor(IRExecutor):
         for name, value in presets.items():
             self.globals_env.setdefault(name, value)
 
+        gst = getattr(fn, "_jit_gather_stats", None)
+        gst_before = tuple(gst) if gst is not None else None
         try:
             discarded = fn(self.regs, n, self.max_loop_iterations)
         except (NameError, UnboundLocalError):
@@ -155,9 +190,13 @@ class JitExecutor(IRExecutor):
             # execute on this draw left a Python local unbound.  The
             # generated function only publishes results in its final
             # writeback, so nothing is half-written: run the draw on
-            # the IR executor instead (full re-setup included).
+            # the IR executor instead (full re-setup included).  Any
+            # partial gather tally is dropped with the partial run.
             _bump_fallbacks()
             return super().execute(n, presets, count_globals)
+        if gst_before is not None:
+            self.texture_gathers += gst[0] - gst_before[0]
+            self.gather_fallbacks += gst[1] - gst_before[1]
         if discarded is not None:
             self.discarded = self._broadcast_mask(discarded)
         else:

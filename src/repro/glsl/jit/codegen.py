@@ -55,6 +55,7 @@ values, multi-step or struct-field l-value paths — raises
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Set
 
 import numpy as np
@@ -89,6 +90,27 @@ _COMPARE_SYMBOL = {"<": "<", ">": ">", "<=": "<=", ">=": ">="}
 
 #: texture dispatch codes for the _tex helper
 _TEX_KIND = {"texture2DProj3": 1, "texture2DProj4": 2, "textureCube": 3}
+
+#: Texture-gather fast path master switch.  On by default; the
+#: REPRO_TEXTURE_GATHER env var ("0" disables) sets the process
+#: default and set_gather_enabled flips it at runtime (tests, A/B
+#: benchmarking).  The flag is read at *generation* time: flipping it
+#: produces a distinct cached function (see _jit_function's cache
+#: key), and worker processes inherit whatever the leader generated
+#: because they receive the already-emitted source.
+_GATHER_ENABLED = os.environ.get("REPRO_TEXTURE_GATHER", "1") != "0"
+
+
+def gather_enabled() -> bool:
+    return _GATHER_ENABLED
+
+
+def set_gather_enabled(enabled: bool) -> bool:
+    """Set the gather flag; returns the previous value."""
+    global _GATHER_ENABLED
+    previous = _GATHER_ENABLED
+    _GATHER_ENABLED = bool(enabled)
+    return previous
 
 
 def _ndim(gtype: GlslType) -> int:
@@ -275,6 +297,43 @@ def make_helpers(fmodel) -> Dict[str, object]:
             return np.asarray(texels, DT)
         return quantize(texels.astype(DT), "tex")
 
+    # Per-function gather tally: [direct gathers, runtime fallbacks],
+    # counted per _gather call site execution.  The executor snapshots
+    # it around each run and accumulates the delta into DrawStats.
+    _gst = [0, 0]
+
+    def _gather(sampler, x, y, coords, size):
+        # Direct texel gather for IR-annotated fetch-pattern samples
+        # (see glsl.ir.gather).  The static half of the proof — the
+        # coordinate is (vec2(x, y) + 0.5) / size — is established by
+        # the annotation; everything checked here is the runtime half:
+        # the sampler qualifies (complete, NEAREST, CLAMP_TO_EDGE,
+        # storage matching `size`) and the indices are integral and
+        # in-range.  Any miss falls back to the ordinary sampler,
+        # which is bit-identical by construction.
+        gi = getattr(sampler, "gather_info", None)
+        data = None
+        if gi is not None and size.shape[0] == 1:
+            data = gi(float(size[0, 0]), float(size[0, 1]))
+        if data is not None:
+            ix = x.astype(np.int64)
+            iy = y.astype(np.int64)
+            if (ix.size > 0 and iy.size > 0
+                    and ix.min() >= 0 and iy.min() >= 0
+                    and ix.max() < data.shape[1]
+                    and iy.max() < data.shape[0]
+                    and np.array_equal(ix, x) and np.array_equal(iy, y)):
+                _gst[0] += 1
+                # Same arithmetic as Texture.sample's NEAREST path:
+                # uint8 storage divided to [0, 1] in float64, then the
+                # model's "tex" quantize (or its cast elision).
+                texels = data[iy, ix] / 255.0
+                if tex_cast_only:
+                    return np.asarray(texels, DT)
+                return quantize(texels.astype(DT), "tex")
+        _gst[1] += 1
+        return _tex(sampler, coords, 0)
+
     return {
         "np": np,
         "DT": DT,
@@ -289,6 +348,8 @@ def make_helpers(fmodel) -> Dict[str, object]:
         "_flat": _flat,
         "_mdiag": _mdiag,
         "_tex": _tex,
+        "_gather": _gather,
+        "_gst": _gst,
     }
 
 
@@ -297,10 +358,11 @@ def make_helpers(fmodel) -> Dict[str, object]:
 # ======================================================================
 class CodeGen:
     def __init__(self, program: CompiledProgram, fmodel,
-                 wide_globals: Set[str]):
+                 wide_globals: Set[str], gather: Optional[bool] = None):
         self.program = program
         self.fmodel = fmodel
         self.exact = fmodel.name == "exact"
+        self.gather = _GATHER_ENABLED if gather is None else gather
         self.uinfo: UniformInfo = infer_uniform(program, set(wide_globals))
         self.lines: List[str] = []
         self.level = 1
@@ -907,6 +969,21 @@ class CodeGen:
             raise JitUnsupported("sampler register not traceable")
         kind = _TEX_KIND.get(overload.impl, 0)
         self.types[ins.out] = ins.type
+        gather = getattr(ins, "gather", None)
+        # Gather fast path: only for plain texture2D sites the IR
+        # annotation proved to be fetch-pattern samples, only when the
+        # float model's ALU quantize is a pure cast (the texel-centre
+        # round-trip proof assumes IEEE arithmetic on the stored
+        # dtype), and only for width-1 size registers (the helper
+        # reads scalar dimensions out of them).
+        if (gather is not None and kind == 0 and self.gather
+                and sampler != "None"
+                and (self.exact or self.fmodel.quantize_is_cast("alu"))
+                and self.uinfo.is_uniform(gather[0])):
+            size_reg, x_reg, y_reg = gather
+            self.w(f"r{ins.out} = _gather({sampler}, r{x_reg}, r{y_reg}, "
+                   f"r{ins.args[1]}, r{size_reg})")
+            return m
         self.w(f"r{ins.out} = _tex({sampler}, r{ins.args[1]}, {kind})")
         return m
 
@@ -1083,11 +1160,15 @@ class CodeGen:
         return m
 
 
-def generate(program: CompiledProgram, fmodel, wide_globals: Set[str]):
+def generate(program: CompiledProgram, fmodel, wide_globals: Set[str],
+             gather: Optional[bool] = None):
     """Generate and compile the JIT function for one program under one
     wide-global set.  Returns the callable ``fn(regs, n, maxit)``;
-    raises :class:`JitUnsupported` for programs outside the subset."""
-    gen = CodeGen(program, fmodel, wide_globals)
+    raises :class:`JitUnsupported` for programs outside the subset.
+
+    ``gather`` overrides the module gather flag for this function
+    (None = use the flag)."""
+    gen = CodeGen(program, fmodel, wide_globals, gather=gather)
     source = gen.generate()
     ns = make_helpers(fmodel)
     ns.update(gen.ns)
@@ -1101,4 +1182,7 @@ def generate(program: CompiledProgram, fmodel, wide_globals: Set[str]):
     # source this is everything a worker process needs to rematerialise
     # the function — see repro.gles2.parallel.
     fn._jit_captured = dict(gen.ns)
+    # The live gather tally for this function's helper namespace —
+    # [gathers, fallbacks]; executors snapshot/delta it per run.
+    fn._jit_gather_stats = ns["_gst"]
     return fn

@@ -93,6 +93,15 @@ class DrawStats:
     vertex_ops: OpCounters = field(default_factory=OpCounters)
     fragment_ops: OpCounters = field(default_factory=OpCounters)
     framebuffer_writes: int = 0  # pixels written
+    #: JIT texture-gather fast path (see repro.glsl.ir.gather): how
+    #: many annotated texture2D site executions gathered texel storage
+    #: directly, and how many reached an annotated site but failed the
+    #: runtime qualification (sampler state, non-integral or
+    #: out-of-range indices) and took the ordinary sampler instead.
+    #: Both stay 0 on non-JIT backends and on unannotated programs;
+    #: they tally site *executions*, a subset of the ``tex`` op count.
+    texture_gathers: int = 0
+    gather_fallbacks: int = 0
 
 
 @dataclass

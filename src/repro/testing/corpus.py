@@ -2,9 +2,13 @@
 
 The fuzzer explores random programs; the corpus pins down the *real*
 shaders the project ships — the challenge-(7) copy shader, the §IV
-hand-written packing shader from ``examples/raw_gl_sum.py``, and
+hand-written packing shader from ``examples/raw_gl_sum.py``,
 generated GPGPU kernels (identity in every §IV format, saxpy, int
-scaling).  Each entry is rendered through the full three-way
+scaling), and a texture-sampling matrix covering the filter/wrap/
+completeness legs of ``Texture.sample`` (NEAREST vs LINEAR
+magnification, REPEAT/MIRRORED_REPEAT/CLAMP_TO_EDGE wrap, NPOT- and
+mipmap-incomplete samplers, the LINEAR weight-0.5 texel-boundary
+tie).  Each entry is rendered through the full three-way
 differential oracle and, additionally, compared bit-exactly against a
 framebuffer stored in ``tests/corpus/``; a change in any of the
 lexer, parser, interpreter, rasteriser or quantiser that alters the
@@ -47,8 +51,10 @@ from ..core.codegen.templates import (
     PASSTHROUGH_VERTEX_SHADER,
     generate_kernel_source,
 )
+from ..gles2 import enums as gl
 from .oracle import (
     STANDARD_VERTEX_SHADER,
+    TextureSpec,
     draw_for_capture,
     run_differential,
 )
@@ -71,16 +77,35 @@ class CorpusEntry:
     fragment: str
     vertex: str = STANDARD_VERTEX_SHADER
     uniforms: Dict[str, object] = field(default_factory=dict)
-    textures: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: sampler uniform -> (H, W, 4) uint8 array or TextureSpec
+    textures: Dict[str, object] = field(default_factory=dict)
     size: int = 4
     quantization: str = "round"
 
 
-def _texture(name: str, size: int = 4, lo: int = 0, hi: int = 255) -> np.ndarray:
-    """Deterministic RGBA8 texture derived from the entry name."""
+def _texture(
+    name: str, size: int = 4, lo: int = 0, hi: int = 255,
+    height: Optional[int] = None,
+) -> np.ndarray:
+    """Deterministic RGBA8 texture derived from the entry name.
+
+    ``size`` is the width; ``height`` defaults to ``size`` (square)."""
+    h = size if height is None else height
     rng = random.Random(f"corpus:{name}")
-    data = [rng.randrange(lo, hi + 1) for __ in range(size * size * 4)]
-    return np.array(data, dtype=np.uint8).reshape(size, size, 4)
+    data = [rng.randrange(lo, hi + 1) for __ in range(size * h * 4)]
+    return np.array(data, dtype=np.uint8).reshape(h, size, 4)
+
+
+def _tex_matrix_fragment(coord_expr: str) -> str:
+    """Minimal sampling shader for the filter/wrap matrix entries."""
+    return (
+        "precision highp float;\n"
+        "varying vec2 v_uv;\n"
+        "uniform sampler2D u_t;\n"
+        "void main() {\n"
+        f"    gl_FragColor = texture2D(u_t, {coord_expr});\n"
+        "}\n"
+    )
 
 
 def _example_fragment(filename: str) -> Optional[str]:
@@ -182,6 +207,110 @@ def build_entries() -> List[CorpusEntry]:
     entries.append(
         _kernel_entry(
             "scale_int32", [("x", "int32")], "int32", "result = x * 3.0;"
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Texture-sampling matrix: filter x wrap x completeness.  Each entry
+    # pins one leg of the Texture.sample decision tree — the same code
+    # all five oracle paths (and the JIT's gather-disqualification
+    # fallback) funnel through.
+    # ------------------------------------------------------------------
+    # NEAREST mag + CLAMP_TO_EDGE on coordinates straddling [0,1]: the
+    # exact configuration the JIT gather fast path requires.
+    entries.append(
+        CorpusEntry(
+            name="tex_nearest_clamp",
+            fragment=_tex_matrix_fragment("v_uv * 2.0 - 0.5"),
+            textures={
+                "u_t": TextureSpec(data=_texture("tex_nearest_clamp:u_t")),
+            },
+        )
+    )
+    # LINEAR magnification: bilinear blend of a 2x2 footprint.
+    entries.append(
+        CorpusEntry(
+            name="tex_linear_mag",
+            fragment=_tex_matrix_fragment("v_uv"),
+            textures={
+                "u_t": TextureSpec(
+                    data=_texture("tex_linear_mag:u_t"),
+                    min_filter=gl.GL_LINEAR,
+                    mag_filter=gl.GL_LINEAR,
+                ),
+            },
+        )
+    )
+    # LINEAR at an exact texel boundary: fx == fy == 0.5, the blend
+    # weights tie and all four texels contribute a quarter each.
+    entries.append(
+        CorpusEntry(
+            name="tex_linear_boundary",
+            fragment=_tex_matrix_fragment("vec2(0.5, 0.5)"),
+            textures={
+                "u_t": TextureSpec(
+                    data=_texture("tex_linear_boundary:u_t"),
+                    min_filter=gl.GL_LINEAR,
+                    mag_filter=gl.GL_LINEAR,
+                ),
+            },
+        )
+    )
+    # REPEAT and MIRRORED_REPEAT wrap arithmetic on out-of-range
+    # coordinates (v_uv * 3 - 1 spans [-0.625, 1.625] at 4x4).
+    entries.append(
+        CorpusEntry(
+            name="tex_wrap_repeat",
+            fragment=_tex_matrix_fragment("v_uv * 3.0 - 1.0"),
+            textures={
+                "u_t": TextureSpec(
+                    data=_texture("tex_wrap_repeat:u_t"),
+                    wrap_s=gl.GL_REPEAT,
+                    wrap_t=gl.GL_REPEAT,
+                ),
+            },
+        )
+    )
+    entries.append(
+        CorpusEntry(
+            name="tex_wrap_mirror",
+            fragment=_tex_matrix_fragment("v_uv * 3.0 - 1.0"),
+            textures={
+                "u_t": TextureSpec(
+                    data=_texture("tex_wrap_mirror:u_t"),
+                    wrap_s=gl.GL_MIRRORED_REPEAT,
+                    wrap_t=gl.GL_MIRRORED_REPEAT,
+                ),
+            },
+        )
+    )
+    # Incompleteness legs: both must sample as opaque black (0,0,0,1).
+    # NPOT dimensions with a non-CLAMP wrap (ES 2 §3.8.2)...
+    entries.append(
+        CorpusEntry(
+            name="tex_npot_incomplete",
+            fragment=_tex_matrix_fragment("v_uv"),
+            textures={
+                "u_t": TextureSpec(
+                    data=_texture("tex_npot_incomplete:u_t", size=5, height=3),
+                    wrap_s=gl.GL_REPEAT,
+                    wrap_t=gl.GL_REPEAT,
+                ),
+            },
+        )
+    )
+    # ...and the default GL_NEAREST_MIPMAP_LINEAR min filter with no
+    # mipmap chain uploaded (min_filter=None keeps the GL default).
+    entries.append(
+        CorpusEntry(
+            name="tex_mipmap_incomplete",
+            fragment=_tex_matrix_fragment("v_uv"),
+            textures={
+                "u_t": TextureSpec(
+                    data=_texture("tex_mipmap_incomplete:u_t"),
+                    min_filter=None,
+                ),
+            },
         )
     )
     return entries

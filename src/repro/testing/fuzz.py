@@ -83,10 +83,16 @@ def fuzz(
     keep_going: bool = False,
     do_shrink: bool = True,
     progress_every: int = 50,
+    p_texture: Optional[float] = None,
     out=sys.stdout,
 ) -> int:
-    """Run ``n`` generated programs; returns the divergence count."""
+    """Run ``n`` generated programs; returns the divergence count.
+
+    ``p_texture`` overrides the generator's texture2D emission
+    probability (None keeps the GeneratorConfig default)."""
     config = GeneratorConfig()
+    if p_texture is not None:
+        config.p_texture = p_texture
     divergences = 0
     for i in range(n):
         source = generate_program(program_rng(seed, i), config)
@@ -148,6 +154,11 @@ def main(argv: Optional[list] = None) -> int:
                              "'jit' = pipeline driven by the NumPy-source "
                              "JIT backend, 'both' = paths A-D, "
                              "'all' = all five paths cross-checked")
+    parser.add_argument("--p-texture", type=float, default=None,
+                        help="probability that a vec4 expression node "
+                             "becomes a texture2D sample of a standard "
+                             "sampler (default: the GeneratorConfig "
+                             "value; 0 disables texture generation)")
     parser.add_argument("--inject", choices=("eq2",), default=None,
                         help="deliberately inject a pipeline bug; the "
                              "run then must diverge (self-test)")
@@ -163,6 +174,7 @@ def main(argv: Optional[list] = None) -> int:
         backend=args.backend,
         keep_going=args.keep_going,
         do_shrink=not args.no_shrink,
+        p_texture=args.p_texture,
     )
     if args.inject == "eq2":
         with inject_eq2_off_by_one():

@@ -27,10 +27,19 @@ STANDARD_UNIFORMS: Tuple[Tuple[str, str], ...] = (
     ("u_v4", "vec4"),
 )
 
+#: Samplers every generated program may reference.  The oracle binds a
+#: deterministic RGBA8 image to each (see
+#: :data:`repro.testing.oracle.STANDARD_TEXTURE_VALUES`); the set spans
+#: square/non-square, power-of-two/NPOT and 1x1 shapes plus NEAREST and
+#: LINEAR filtering, so generated ``texture2D`` calls exercise the full
+#: sampling path of every backend.
+STANDARD_SAMPLERS: Tuple[str, ...] = ("u_tex0", "u_tex1", "u_tex2", "u_tex3")
+
 _PREAMBLE = (
     "precision highp float;\n"
     "varying vec2 v_uv;\n"
     + "".join(f"uniform {t} {n};\n" for n, t in STANDARD_UNIFORMS)
+    + "".join(f"uniform sampler2D {n};\n" for n in STANDARD_SAMPLERS)
 )
 
 _VEC_SIZES = {"vec2": 2, "vec3": 3, "vec4": 4}
@@ -51,6 +60,9 @@ class GeneratorConfig:
     p_loop: float = 0.45
     p_if: float = 0.5
     p_array: float = 0.35
+    #: Chance that any vec4 expression node becomes a ``texture2D``
+    #: sample of one of the standard samplers.
+    p_texture: float = 0.15
 
 
 class _Scope:
@@ -252,11 +264,31 @@ class _ProgramGenerator:
             options.append("v_uv")
         return self.pick(options)
 
+    def texture_expr(self, d: int) -> str:
+        """A ``texture2D`` sample of a standard sampler (vec4-typed).
+
+        Coordinates are biased towards the interpolated ``v_uv`` (the
+        well-behaved in-range case) but also include fract-wrapped and
+        fully unconstrained vec2 expressions, so REPEAT/MIRRORED_REPEAT
+        wrap arithmetic and out-of-range clamping get exercised too.
+        """
+        sampler = self.pick(STANDARD_SAMPLERS)
+        roll = self.rng.random()
+        if roll < 0.4:
+            coord = "v_uv"
+        elif roll < 0.7:
+            coord = f"fract({self.vec_expr('vec2', d)})"
+        else:
+            coord = self.vec_expr("vec2", d)
+        return f"texture2D({sampler}, {coord})"
+
     def vec_expr(self, gtype: str, depth: int) -> str:
         if depth <= 0:
             return self.vec_leaf(gtype)
         size = _VEC_SIZES[gtype]
         d = depth - 1
+        if gtype == "vec4" and self.chance(self.config.p_texture):
+            return self.texture_expr(d)
         roll = self.rng.random()
         if roll < 0.18:
             comps = ", ".join(self.float_expr(d) for _ in range(size))

@@ -37,6 +37,7 @@ every pixel exactly once (top-left fill rule conformance).
 from __future__ import annotations
 
 import contextlib
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -74,6 +75,60 @@ STANDARD_UNIFORM_VALUES: Dict[str, object] = {
 }
 
 _CLEAR_COLOR = (0.0, 0.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class TextureSpec:
+    """One sampler binding for the oracle: an RGBA8 image plus the
+    texture parameters to set before the draw.
+
+    A parameter of ``None`` means *leave the GL default* (min filter
+    ``GL_NEAREST_MIPMAP_LINEAR``, mag ``GL_LINEAR``, wraps
+    ``GL_REPEAT``) — that is how the mipmap-incomplete corpus entries
+    get the spec-mandated opaque-black sampling without uploading
+    mipmaps.  The defaults here mirror what :func:`draw_for_capture`
+    historically hardcoded, so a plain ndarray (wrapped via
+    :meth:`of`) behaves exactly as before.
+    """
+
+    data: np.ndarray
+    min_filter: Optional[int] = gl.GL_NEAREST
+    mag_filter: Optional[int] = gl.GL_NEAREST
+    wrap_s: Optional[int] = gl.GL_CLAMP_TO_EDGE
+    wrap_t: Optional[int] = gl.GL_CLAMP_TO_EDGE
+
+    @classmethod
+    def of(cls, value) -> "TextureSpec":
+        if isinstance(value, cls):
+            return value
+        return cls(data=np.asarray(value, dtype=np.uint8))
+
+
+def _standard_texture(name: str, width: int, height: int) -> np.ndarray:
+    """Deterministic RGBA8 image for a standard sampler."""
+    rng = random.Random(f"oracle-texture:{name}")
+    flat = [rng.randrange(256) for __ in range(width * height * 4)]
+    return np.array(flat, dtype=np.uint8).reshape(height, width, 4)
+
+
+#: Deterministic texture bindings for the generator's standard samplers
+#: (:data:`repro.testing.generator.STANDARD_SAMPLERS`).  The set spans
+#: the sampling-path matrix: square NEAREST/CLAMP, non-square
+#: power-of-two LINEAR with REPEAT/MIRRORED_REPEAT wraps, a degenerate
+#: 1x1 image, and an NPOT shape (complete because its wraps are CLAMP
+#: and its min filter is non-mipmap).
+STANDARD_TEXTURE_VALUES: Dict[str, TextureSpec] = {
+    "u_tex0": TextureSpec(data=_standard_texture("u_tex0", 4, 4)),
+    "u_tex1": TextureSpec(
+        data=_standard_texture("u_tex1", 8, 4),
+        min_filter=gl.GL_LINEAR,
+        mag_filter=gl.GL_LINEAR,
+        wrap_s=gl.GL_REPEAT,
+        wrap_t=gl.GL_MIRRORED_REPEAT,
+    ),
+    "u_tex2": TextureSpec(data=_standard_texture("u_tex2", 1, 1)),
+    "u_tex3": TextureSpec(data=_standard_texture("u_tex3", 5, 3)),
+}
 
 
 def reference_quantize(component: float, mode: str = "round") -> int:
@@ -181,7 +236,12 @@ def draw_for_capture(
     per-fragment state.  Returns ``(framebuffer, capture)``.
 
     ``uniforms`` maps uniform names to floats/ints/tuples; ``textures``
-    maps sampler uniform names to (H, W, 4) uint8 arrays.
+    maps sampler uniform names to (H, W, 4) uint8 arrays or
+    :class:`TextureSpec` instances (which also carry filter/wrap
+    parameters).  The standard samplers of
+    :data:`STANDARD_TEXTURE_VALUES` are bound automatically whenever
+    the program declares them, mirroring how
+    :data:`STANDARD_UNIFORM_VALUES` is always merged in.
     ``vertex_source`` may replace the standard quad shader (e.g. the
     codegen pass-through shader, whose varying is ``v_coord``).
     ``execution_backend`` selects how the pipeline itself runs the
@@ -218,22 +278,33 @@ def draw_for_capture(
     for name, value in merged.items():
         _set_uniform(ctx, prog, name, value)
 
-    for unit, (name, image) in enumerate((textures or {}).items()):
+    # Standard samplers bind only when the program declares them, so a
+    # program with its own (deliberately unbound) sampler still sees
+    # the incomplete-texture black of texture object 0 on unit 0.
+    merged_textures: Dict[str, TextureSpec] = {
+        name: spec
+        for name, spec in STANDARD_TEXTURE_VALUES.items()
+        if ctx.glGetUniformLocation(prog, name) >= 0
+    }
+    for name, value in (textures or {}).items():
+        merged_textures[name] = TextureSpec.of(value)
+    for unit, (name, spec) in enumerate(merged_textures.items()):
         tex = ctx.glGenTextures(1)[0]
         ctx.glActiveTexture(gl.GL_TEXTURE0 + unit)
         ctx.glBindTexture(gl.GL_TEXTURE_2D, tex)
-        # Mipmap-free completeness: without these the default
-        # GL_NEAREST_MIPMAP_LINEAR min filter makes the texture
-        # incomplete and every sample returns opaque black.
-        ctx.glTexParameteri(gl.GL_TEXTURE_2D, gl.GL_TEXTURE_MIN_FILTER,
-                            gl.GL_NEAREST)
-        ctx.glTexParameteri(gl.GL_TEXTURE_2D, gl.GL_TEXTURE_MAG_FILTER,
-                            gl.GL_NEAREST)
-        ctx.glTexParameteri(gl.GL_TEXTURE_2D, gl.GL_TEXTURE_WRAP_S,
-                            gl.GL_CLAMP_TO_EDGE)
-        ctx.glTexParameteri(gl.GL_TEXTURE_2D, gl.GL_TEXTURE_WRAP_T,
-                            gl.GL_CLAMP_TO_EDGE)
-        image = np.ascontiguousarray(image, dtype=np.uint8)
+        # Default spec: mipmap-free completeness — without a non-mipmap
+        # min filter the default GL_NEAREST_MIPMAP_LINEAR makes the
+        # texture incomplete and every sample returns opaque black (a
+        # spec passing None for a parameter opts into exactly that).
+        for pname, pvalue in (
+            (gl.GL_TEXTURE_MIN_FILTER, spec.min_filter),
+            (gl.GL_TEXTURE_MAG_FILTER, spec.mag_filter),
+            (gl.GL_TEXTURE_WRAP_S, spec.wrap_s),
+            (gl.GL_TEXTURE_WRAP_T, spec.wrap_t),
+        ):
+            if pvalue is not None:
+                ctx.glTexParameteri(gl.GL_TEXTURE_2D, pname, pvalue)
+        image = np.ascontiguousarray(spec.data, dtype=np.uint8)
         ctx.glTexImage2D(
             gl.GL_TEXTURE_2D, 0, gl.GL_RGBA, image.shape[1], image.shape[0],
             0, gl.GL_RGBA, gl.GL_UNSIGNED_BYTE, image,

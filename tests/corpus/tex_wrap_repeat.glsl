@@ -1,0 +1,6 @@
+precision highp float;
+varying vec2 v_uv;
+uniform sampler2D u_t;
+void main() {
+    gl_FragColor = texture2D(u_t, v_uv * 3.0 - 1.0);
+}
