@@ -183,6 +183,104 @@ def bench_sgemm(n=SGEMM_N, backends=BACKENDS, include_workers=False,
     return stats
 
 
+GRAPH_CHAIN_N = 4096
+GRAPH_CHAIN_STAGES = 3
+
+
+def _graph_chain_rig(graph_mode):
+    """A three-stage elementwise chain — the multi-pass shape the
+    launch-graph scheduler fuses.  Eager: three draws through two
+    materialised intermediates; graph: record + replay as one fused
+    draw from pooled scratch."""
+    dev = GpgpuDevice(
+        float_model="videocore", execution_backend="jit",
+        graph_mode=graph_mode,
+    )
+    shift = dev.kernel(
+        "bench_shift", [("a", "float32")], "float32",
+        "result = a + u_s;", uniforms=[("u_s", "float")],
+    )
+    scale = dev.kernel(
+        "bench_scale", [("a", "float32")], "float32",
+        "result = u_k * a;", uniforms=[("u_k", "float")],
+    )
+    rng = np.random.default_rng(2)
+    src = dev.array(
+        rng.uniform(-1, 1, GRAPH_CHAIN_N).astype(np.float32), "float32"
+    )
+    if graph_mode:
+        state = {"out": None, "stats": None}
+
+        def launch():
+            if state["out"] is not None:
+                state["out"].release()
+            with dev.record() as graph:
+                a = graph.scratch(GRAPH_CHAIN_N, "float32")
+                graph.launch(shift, a, {"a": src}, {"u_s": 0.125})
+                b = graph.scratch(GRAPH_CHAIN_N, "float32")
+                graph.launch(scale, b, {"a": a}, {"u_k": 1.5})
+                c = graph.scratch(GRAPH_CHAIN_N, "float32")
+                graph.launch(shift, c, {"a": b}, {"u_s": -0.25})
+                graph.keep(c)
+            state["out"] = c
+            state["stats"] = graph.stats
+
+        return dev, state, launch
+    mid1 = dev.empty(GRAPH_CHAIN_N, "float32")
+    mid2 = dev.empty(GRAPH_CHAIN_N, "float32")
+    out = dev.empty(GRAPH_CHAIN_N, "float32")
+    state = {"out": out, "stats": None}
+
+    def launch():
+        shift(mid1, {"a": src}, {"u_s": 0.125})
+        scale(mid2, {"a": mid1}, {"u_k": 1.5})
+        shift(out, {"a": mid2}, {"u_s": -0.25})
+
+    return dev, state, launch
+
+
+def bench_graph():
+    """Eager vs deferred-graph wall clock on the multi-pass chain.
+    Fails the bench run outright if the replay stops fusing the chain
+    into a single draw — a silent fusion loss would otherwise read as
+    an ordinary perf regression."""
+    rigs = {mode: _graph_chain_rig(mode == "graph")
+            for mode in ("eager", "graph")}
+    stats = _time_interleaved(
+        {mode: rig[2] for mode, rig in rigs.items()}
+    )
+    eager_out = rigs["eager"][1]["out"].to_host()
+    graph_out = rigs["graph"][1]["out"].to_host()
+    stats["graph"]["correct"] = bool(
+        np.array_equal(eager_out.view(np.uint32),
+                       graph_out.view(np.uint32))
+    )
+    stats["eager"]["correct"] = True
+    replay = rigs["graph"][1]["stats"]
+    stats["graph"]["fused_draws_per_replay"] = replay.fused_draws
+    stats["graph"]["elided_draws_per_replay"] = replay.elided_draws
+    stats["graph"]["scratch_reuses_per_replay"] = replay.scratch_reuses
+    graph_dev = rigs["graph"][0]
+    stats["graph"]["elided_transfer_seconds"] = (
+        graph_dev.wall_time().elided_transfer_seconds
+    )
+    if replay.fused_draws != 1 or replay.elided_draws != (
+        GRAPH_CHAIN_STAGES - 1
+    ):
+        raise SystemExit(
+            "map_chain_float32: launch-graph replay no longer fuses "
+            f"the {GRAPH_CHAIN_STAGES}-stage chain into one draw "
+            f"(fused={replay.fused_draws}, elided={replay.elided_draws})"
+            " — see repro.core.api.graph"
+        )
+    if not stats["graph"]["correct"]:
+        raise SystemExit(
+            "map_chain_float32: fused replay diverged from eager "
+            "execution — the round-trip bit-identity contract broke"
+        )
+    return stats
+
+
 def sweep_tile(n=SGEMM_N_XL, workers=SHADE_WORKERS,
                tiles=(16, 32, 64, 128, 0), reps=XL_REPS, warmup=XL_WARMUP):
     """Tile-size sweep behind DEFAULT_TILE_SIZE: times sgemm-``n``
@@ -232,7 +330,9 @@ def main(argv=None):
             "repeated-launch wall clock, AST walker vs linear IR vs "
             "NumPy-source JIT; 'jit+workers' columns add tiled "
             "multiprocess fragment shading "
-            f"(shade_workers={SHADE_WORKERS})"
+            f"(shade_workers={SHADE_WORKERS}); map_chain_float32 "
+            "times the deferred launch graph (record + fused replay) "
+            "against eager multi-pass dispatch"
         ),
         "python": platform.python_version(),
         # Worker-pool columns only make sense relative to the cores
@@ -259,6 +359,11 @@ def main(argv=None):
                              include_workers=True,
                              reps=XL_REPS, warmup=XL_WARMUP),
          SGEMM_N_XL, ("jit", "jit+workers")),
+        # Deferred launch graph vs eager on the multi-pass map chain:
+        # record/replay must beat three eager dispatches by fusing the
+        # chain into one draw (asserted, not just timed).
+        ("map_chain_float32", bench_graph, GRAPH_CHAIN_N,
+         ("eager", "graph")),
     ):
         per_backend = fn()
         for backend in timed:
@@ -277,6 +382,11 @@ def main(argv=None):
                      / per_backend["jit+workers"]["median_ms"])
             per_backend["speedup_workers_over_jit"] = round(ratio, 3)
             print(f"{name} speedup (jit/jit+workers): {ratio:.3f}x")
+        if "eager" in per_backend and "graph" in per_backend:
+            ratio = (per_backend["eager"]["median_ms"]
+                     / per_backend["graph"]["median_ms"])
+            per_backend["speedup_graph_over_eager"] = round(ratio, 3)
+            print(f"{name} speedup (eager/graph): {ratio:.3f}x")
         per_backend["size"] = size
         report["workloads"][name] = per_backend
 

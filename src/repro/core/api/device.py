@@ -8,6 +8,7 @@ performance-model wall clock for benchmarks.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -22,9 +23,10 @@ from ..codegen.templates import (
     PASSTHROUGH_VERTEX_SHADER,
     generate_kernel_source,
 )
+from ..numerics.formats import ALIASES, FORMATS, NumericFormat, get_format
 from .buffer import GpuArray
 from .errors import GpgpuError, ShaderBuildError
-from .kernel import Kernel, MultiOutputKernel, program_cache_key
+from .kernel import Kernel, KernelSpec, MultiOutputKernel, program_cache_key
 
 
 class GpgpuDevice:
@@ -54,6 +56,13 @@ class GpgpuDevice:
     shade_workers:
         Worker processes for fragment shading (JIT backend only; 0 =
         in-process).  Env default: ``REPRO_SHADE_WORKERS``.
+    graph_mode:
+        When true, the multi-pass kernel drivers (``repro.kernels``)
+        and graph-aware workloads record their launches into a
+        deferred :class:`~repro.core.api.graph.LaunchGraph` and replay
+        them through the fusing scheduler instead of executing
+        eagerly.  None reads the ``REPRO_GRAPH`` environment knob
+        ("1" enables); eager execution is the default.
     """
 
     def __init__(
@@ -66,6 +75,7 @@ class GpgpuDevice:
         execution_backend: str = "ast",
         tile_size: Optional[int] = None,
         shade_workers: Optional[int] = None,
+        graph_mode: Optional[bool] = None,
     ):
         self.ctx = GLES2Context(
             width=1,
@@ -92,6 +102,59 @@ class GpgpuDevice:
         self.force_copy_readback = False
         self._copy_program: Optional[int] = None
         self._scratch: Dict[Tuple[int, int], GpuArray] = {}
+        if graph_mode is None:
+            graph_mode = os.environ.get("REPRO_GRAPH", "0") == "1"
+        #: Whether the multi-pass drivers should record into launch
+        #: graphs (REPRO_GRAPH knob; see repro.core.api.graph).
+        self.graph_mode = bool(graph_mode)
+        #: The currently recording LaunchGraph, if any.
+        self._active_graph = None
+        self._scratch_pool = None  # lazily built ScratchPool
+
+    # ------------------------------------------------------------------
+    # Deferred launch graphs
+    # ------------------------------------------------------------------
+    @property
+    def graph_enabled(self) -> bool:
+        """True when drivers should record into a launch graph: the
+        graph knob is on and no recording is already active (drivers
+        nested inside another recording fall back to joining nothing —
+        the outer graph owns the schedule)."""
+        return self.graph_mode and self._active_graph is None
+
+    @property
+    def scratch_pool(self):
+        """The device-lifetime pool of scratch backing arrays."""
+        if self._scratch_pool is None:
+            from .graph import ScratchPool
+
+            self._scratch_pool = ScratchPool(self)
+        return self._scratch_pool
+
+    def record(self):
+        """Open a deferred :class:`~repro.core.api.graph.LaunchGraph`.
+
+        Use as a context manager: launches recorded through
+        ``graph.launch(...)`` execute at block exit, scheduled through
+        map-chain fusion, scratch pooling and dead-launch elimination::
+
+            with device.record() as graph:
+                graph.launch(kernel, out, {"a": src})
+            host = out.to_host()
+
+        Recording is not reentrant — a second ``record()`` while one
+        graph is open raises.
+        """
+        from .graph import LaunchGraph
+
+        if self._active_graph is not None:
+            raise GpgpuError(
+                "a LaunchGraph is already recording on this device "
+                "(recording is not reentrant)"
+            )
+        graph = LaunchGraph(self)
+        self._active_graph = graph
+        return graph
 
     # ------------------------------------------------------------------
     # Program building
@@ -141,8 +204,27 @@ class GpgpuDevice:
         """Allocate and upload a host array (format inferred from its
         dtype when not given)."""
         host = np.asarray(host)
-        if fmt is None:
+        inferred = fmt is None
+        if inferred:
             fmt = host.dtype.name
+        try:
+            fmt = get_format(fmt)
+        except ValueError as exc:
+            supported = ", ".join(sorted(FORMATS))
+            if inferred:
+                raise GpgpuError(
+                    f"cannot infer a texture format for host dtype "
+                    f"'{host.dtype}' — GpuArray supports {supported} "
+                    f"(paper §IV byte layouts).  Convert the host array "
+                    f"or pass an explicit fmt=, e.g. "
+                    f"device.array(host.astype('float32')) or "
+                    f"device.array(host, fmt='int32')."
+                ) from exc
+            raise GpgpuError(
+                f"unknown format {fmt!r} for device.array() — choose "
+                f"one of {supported} (or a C alias: "
+                f"{', '.join(sorted(ALIASES))})"
+            ) from exc
         out = GpuArray(self, host.reshape(-1).shape[0], fmt)
         out.upload(host)
         return out
@@ -159,6 +241,7 @@ class GpgpuDevice:
         uniforms: Sequence[Tuple[str, str]] = (),
         mode: str = "map",
         preamble: str = "",
+        extra_formats: Sequence[object] = (),
     ) -> Kernel:
         """Create and compile a single-output kernel.
 
@@ -174,13 +257,23 @@ class GpgpuDevice:
             uniforms=uniforms,
             mode=mode,
             preamble=preamble,
+            extra_formats=extra_formats,
         )
         key = program_cache_key(source.vertex, source.fragment)
         cached = self._kernel_cache.get(key)
         if cached is not None:
             self.kernel_cache_hits += 1
             return cached
-        kernel = Kernel.from_source(self, name, inputs, output, source)
+        spec = KernelSpec(
+            name=name,
+            inputs=tuple((n, get_format(f).name) for n, f in inputs),
+            output=get_format(output).name,
+            body=body,
+            uniforms=tuple(uniforms),
+            mode=mode,
+            preamble=preamble,
+        )
+        kernel = Kernel.from_source(self, name, inputs, output, source, spec=spec)
         self._kernel_cache[key] = kernel
         return kernel
 

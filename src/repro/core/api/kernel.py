@@ -12,6 +12,7 @@ framebuffer, with inputs bound as textures.
 from __future__ import annotations
 
 import hashlib
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,6 +27,27 @@ from ..codegen.templates import (
 from ..numerics.formats import get_format
 from .buffer import GpuArray
 from .errors import GpgpuError, ShaderBuildError
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """The generation-time recipe of a kernel — everything needed to
+    re-derive (and therefore to *compose*) its fragment shader.
+
+    The launch-graph scheduler (:mod:`repro.core.api.graph`) fuses a
+    map chain by concatenating the stages' bodies into one program;
+    that is only possible for kernels whose recipe was captured here.
+    Kernels built directly from sources (multi-output splits, hand
+    supplied programs) carry no spec and never fuse.
+    """
+
+    name: str
+    inputs: Tuple[Tuple[str, str], ...]  # (input name, format name)
+    output: str  # format name
+    body: str
+    uniforms: Tuple[Tuple[str, str], ...] = ()
+    mode: str = "map"
+    preamble: str = ""
 
 
 def program_cache_key(vertex_source: str, fragment_source: str) -> Tuple[str, str]:
@@ -70,6 +92,15 @@ class Kernel:
             mode=mode,
             preamble=preamble,
         )
+        self.spec: Optional[KernelSpec] = KernelSpec(
+            name=name,
+            inputs=tuple((n, get_format(f).name) for n, f in inputs),
+            output=self.output_format.name,
+            body=body,
+            uniforms=tuple(uniforms),
+            mode=mode,
+            preamble=preamble,
+        )
         self._bind_program()
 
     @classmethod
@@ -80,15 +111,17 @@ class Kernel:
         inputs: Sequence[Tuple[str, object]],
         output: object,
         source: KernelSource,
+        spec: Optional[KernelSpec] = None,
     ) -> "Kernel":
         """Build a kernel from an already-generated source (used by
-        the multi-output splitter)."""
+        the multi-output splitter and the device kernel cache)."""
         kernel = cls.__new__(cls)
         kernel.device = device
         kernel.name = name
         kernel.input_formats = [(n, get_format(f)) for n, f in inputs]
         kernel.output_format = get_format(output)
         kernel.source = source
+        kernel.spec = spec
         kernel._bind_program()
         return kernel
 
@@ -119,11 +152,23 @@ class Kernel:
         uniforms: Optional[Dict[str, object]] = None,
     ) -> GpuArray:
         """Launch the kernel: one fragment per output texel."""
-        device = self.device
-        ctx = device.ctx
         inputs = inputs or {}
         uniforms = uniforms or {}
+        self.validate_launch(out, inputs, uniforms)
+        return self._execute(out, inputs, uniforms)
 
+    def validate_launch(
+        self,
+        out,
+        inputs: Dict[str, object],
+        uniforms: Dict[str, object],
+    ) -> None:
+        """Check a (out, inputs, uniforms) binding without executing.
+
+        Shared between the eager launch path and the launch-graph
+        recorder (which validates at record time so mistakes surface
+        where they were made, not at replay)."""
+        device = self.device
         expected = {iname for iname, __ in self.input_formats}
         provided = set(inputs)
         if expected != provided:
@@ -163,6 +208,16 @@ class Kernel:
                 f"unknown uniforms {sorted(unknown)} for kernel '{self.name}'"
             )
 
+    def _execute(
+        self,
+        out,
+        inputs: Dict[str, "GpuArray"],
+        uniforms: Dict[str, object],
+    ):
+        """Run an already-validated launch through the GL state
+        machine.  ``out``/``inputs`` must be materialised arrays."""
+        device = self.device
+        ctx = device.ctx
         ctx.glUseProgram(self.program)
         ctx.glBindFramebuffer(gl.GL_FRAMEBUFFER, out.framebuffer())
         ctx.glViewport(0, 0, out.width, out.height)
@@ -196,25 +251,33 @@ class Kernel:
         ctx = self.device.ctx
         location = self._uniform_locations[name]
         utype = self._user_uniform_types[name]
-        if utype == "float":
-            ctx.glUniform1f(location, float(value))
-        elif utype in ("int", "bool"):
-            ctx.glUniform1i(location, int(value))
-        elif utype in ("vec2", "vec3", "vec4"):
-            comps = int(utype[-1])
-            values = np.asarray(value, dtype=np.float64).reshape(comps)
-            getattr(ctx, f"glUniform{comps}f")(location, *values)
-        elif utype in ("ivec2", "ivec3", "ivec4"):
-            comps = int(utype[-1])
-            values = np.asarray(value, dtype=np.int64).reshape(comps)
-            getattr(ctx, f"glUniform{comps}i")(location, *values)
-        elif utype in ("mat2", "mat3", "mat4"):
-            order = int(utype[-1])
-            getattr(ctx, f"glUniformMatrix{order}fv")(
-                location, 1, False, np.asarray(value, dtype=np.float64)
-            )
-        else:  # pragma: no cover - guarded at generation time
-            raise GpgpuError(f"unsupported uniform type {utype}")
+        try:
+            if utype == "float":
+                ctx.glUniform1f(location, float(value))
+            elif utype in ("int", "bool"):
+                ctx.glUniform1i(location, int(value))
+            elif utype in ("vec2", "vec3", "vec4"):
+                comps = int(utype[-1])
+                values = np.asarray(value, dtype=np.float64).reshape(comps)
+                getattr(ctx, f"glUniform{comps}f")(location, *values)
+            elif utype in ("ivec2", "ivec3", "ivec4"):
+                comps = int(utype[-1])
+                values = np.asarray(value, dtype=np.int64).reshape(comps)
+                getattr(ctx, f"glUniform{comps}i")(location, *values)
+            elif utype in ("mat2", "mat3", "mat4"):
+                order = int(utype[-1])
+                getattr(ctx, f"glUniformMatrix{order}fv")(
+                    location, 1, False, np.asarray(value, dtype=np.float64)
+                )
+            else:  # pragma: no cover - guarded at generation time
+                raise GpgpuError(f"unsupported uniform type {utype}")
+        except (TypeError, ValueError) as exc:
+            received = np.asarray(value)
+            raise GpgpuError(
+                f"kernel '{self.name}': uniform '{name}' expects a "
+                f"{utype} value, got shape {received.shape} "
+                f"(dtype {received.dtype}): {exc}"
+            ) from exc
 
 
 class MultiOutputKernel:

@@ -102,6 +102,7 @@ def generate_kernel_source(
     uniforms: Sequence[Tuple[str, str]] = (),
     mode: str = "map",
     preamble: str = "",
+    extra_formats: Sequence[object] = (),
 ) -> KernelSource:
     """Build the vertex + fragment sources of a GPGPU kernel.
 
@@ -124,13 +125,22 @@ def generate_kernel_source(
         Extra ``(name, glsl_type)`` uniforms for kernel parameters.
     preamble:
         Extra GLSL (helper functions, consts) inserted before main().
+    extra_formats:
+        Formats whose pack/unpack helpers must be emitted even though
+        no input or output uses them — fused map chains quantise their
+        intermediate values through these (see
+        :mod:`repro.core.codegen.fuse`).
     """
     if mode not in ("map", "gather"):
         raise ValueError(f"unknown kernel mode '{mode}'")
     input_formats = [(iname, get_format(fmt)) for iname, fmt in inputs]
     out_fmt: NumericFormat = get_format(output_format)
 
-    format_names = [fmt.name for __, fmt in input_formats] + [out_fmt.name]
+    format_names = (
+        [fmt.name for __, fmt in input_formats]
+        + [out_fmt.name]
+        + [get_format(fmt).name for fmt in extra_formats]
+    )
     helper_block = functions_for(format_names)
 
     lines: List[str] = [

@@ -13,6 +13,7 @@ from ..core.api.buffer import GpuArray
 from ..core.api.device import GpgpuDevice
 from ..core.api.kernel import Kernel
 from ..core.numerics.formats import get_format
+from .reduction import eager_launch, halving_ladder
 
 _STEP_BODY_TEMPLATE = """
 float lo = gpgpu_index * 2.0;
@@ -40,16 +41,19 @@ def make_minmax_step_kernel(device: GpgpuDevice, fmt, op: str) -> Kernel:
 
 def _reduce(device: GpgpuDevice, array: GpuArray, op: str):
     kernel = make_minmax_step_kernel(device, array.format, op)
-    current = array
-    owned = []
-    length = current.length
-    while length > 1:
-        next_length = (length + 1) // 2
-        target = device.empty(next_length, array.format)
-        owned.append(target)
-        kernel(target, {"a": current}, {"u_len": float(length)})
-        current = target
-        length = next_length
+    if device.graph_enabled:
+        with device.record() as graph:
+            current, __ = halving_ladder(
+                array, kernel, graph.scratch, graph.launch
+            )
+            graph.keep(current)
+        result = current.to_host()[0]
+        if current is not array:
+            current.release()
+        return result
+    current, owned = halving_ladder(
+        array, kernel, device.empty, eager_launch
+    )
     result = current.to_host()[0]
     for intermediate in owned:
         if intermediate is not current:
@@ -91,8 +95,22 @@ def argmin_via_encoding(device: GpgpuDevice, values: np.ndarray) -> int:
         uniforms=[("u_lo", "float"), ("u_span", "float"), ("u_n", "float")],
         mode="gather",
     )
+    uniforms = {"u_lo": lo, "u_span": span, "u_n": float(n)}
+    if device.graph_enabled:
+        # Record encode + reduction ladder as one graph so the encode
+        # output and every ladder intermediate share pooled scratch.
+        kernel = make_minmax_step_kernel(device, "float32", "min")
+        with device.record() as graph:
+            encoded = graph.scratch(n, "float32")
+            graph.launch(encode, encoded, {"v": array}, uniforms)
+            current, __ = halving_ladder(
+                encoded, kernel, graph.scratch, graph.launch
+            )
+            graph.keep(current)
+        best = current.to_host()[0]
+        current.release()
+        return int(best % n)
     encoded = device.empty(n, "float32")
-    encode(encoded, {"v": array},
-           {"u_lo": lo, "u_span": span, "u_n": float(n)})
+    encode(encoded, {"v": array}, uniforms)
     best = _reduce(device, encoded, "min")
     return int(best % n)

@@ -3,6 +3,12 @@
 ES 2 fragments cannot communicate, so reductions run as a ping-pong
 of gather kernels, each pass halving the array until one element
 remains — the classic GPGPU pattern the paper's framework enables.
+
+Under the device's graph mode (``REPRO_GRAPH``), the ladder records
+into a deferred :class:`~repro.core.api.graph.LaunchGraph`: the
+O(log n) per-pass intermediates then come from the scratch pool (two
+backing textures total, recycled pass over pass) instead of O(log n)
+fresh allocations.
 """
 
 from __future__ import annotations
@@ -37,25 +43,52 @@ def make_reduce_step_kernel(device: GpgpuDevice, fmt) -> Kernel:
     )
 
 
+def halving_ladder(array, kernel, alloc, launch):
+    """The shared reduction pass loop, parameterised over allocation
+    and launch so the eager path (``device.empty`` + direct call) and
+    the graph path (``graph.scratch`` + ``graph.launch``) run the same
+    schedule.  Returns (final array, intermediates made)."""
+    current = array
+    length = current.length
+    made = []
+    while length > 1:
+        next_length = (length + 1) // 2
+        target = alloc(next_length, current.format)
+        made.append(target)
+        launch(kernel, target, {"a": current}, {"u_len": float(length)})
+        current = target
+        length = next_length
+    return current, made
+
+
+def eager_launch(kernel, out, inputs, uniforms=None):
+    """The eager ``launch`` callable for :func:`halving_ladder`."""
+    return kernel(out, inputs, uniforms)
+
+
 def reduce_sum(device: GpgpuDevice, array: GpuArray, kernel: Kernel = None):
     """Sum all elements of ``array`` on the GPU.
 
     Returns a Python scalar of the array's format.  Runs
-    ceil(log2(n)) kernel passes; intermediate arrays are released.
+    ceil(log2(n)) kernel passes; intermediate arrays are released
+    (eager) or pooled (graph mode).
     """
     fmt = array.format
     if kernel is None:
         kernel = make_reduce_step_kernel(device, fmt)
-    current = array
-    owned = []  # intermediates to release
-    length = current.length
-    while length > 1:
-        next_length = (length + 1) // 2
-        target = device.empty(next_length, fmt)
-        owned.append(target)
-        kernel(target, {"a": current}, {"u_len": float(length)})
-        current = target
-        length = next_length
+    if device.graph_enabled:
+        with device.record() as graph:
+            current, __ = halving_ladder(
+                array, kernel, graph.scratch, graph.launch
+            )
+            graph.keep(current)
+        result = current.to_host()[0]
+        if current is not array:
+            current.release()
+        return result
+    current, owned = halving_ladder(
+        array, kernel, device.empty, eager_launch
+    )
     result = current.to_host()[0]
     for array_ in owned:
         if array_ is not current:

@@ -4,6 +4,12 @@ Scan is the canonical building block GPGPU frameworks are judged by
 (stream compaction, sorting, histogram).  On ES 2 it runs as
 ceil(log2(n)) ping-pong passes: pass d adds the element 2^d to the
 left, fragments with no left neighbour pass through.
+
+Under graph mode the ladder records into a deferred
+:class:`~repro.core.api.graph.LaunchGraph`: ping/pong buffers come
+from the scratch pool, and ``exclusive_scan``'s shift pass fuses with
+the ladder's seed copy into a single draw (the copy consumes the
+shifted array element-for-element — the scheduler's map-chain rule).
 """
 
 from __future__ import annotations
@@ -35,29 +41,56 @@ def make_scan_step_kernel(device: GpgpuDevice, fmt) -> Kernel:
     )
 
 
+def make_scan_copy_kernel(device: GpgpuDevice, fmt) -> Kernel:
+    """The identity pass seeding the ping-pong ladder."""
+    fmt = get_format(fmt)
+    return device.kernel(
+        f"scan_copy_{fmt.name}", [("a", fmt)], fmt, "result = a;"
+    )
+
+
+def _scan_passes(source, identity, kernel, n, fmt, alloc, launch):
+    """The shared scan schedule: seed copy + Hillis-Steele ladder.
+    Returns (result array, the other ping-pong buffer)."""
+    ping = alloc(n, fmt)
+    pong = alloc(n, fmt)
+    launch(identity, ping, {"a": source}, None)
+    offset = 1
+    while offset < n:
+        launch(kernel, pong, {"a": ping}, {"u_offset": float(offset)})
+        ping, pong = pong, ping
+        offset *= 2
+    return ping, pong
+
+
+def _eager_launch(kernel, out, inputs, uniforms=None):
+    return kernel(out, inputs, uniforms)
+
+
 def inclusive_scan(device: GpgpuDevice, array: GpuArray,
                    kernel: Kernel = None) -> GpuArray:
     """Inclusive prefix sum of ``array`` on the GPU.
 
-    Returns a new GpuArray of the same length/format; the input is
-    left untouched.  Runs ceil(log2(n)) passes.
+    Returns a new array of the same length/format (a pooled scratch
+    array in graph mode — ``release()`` returns it to the pool); the
+    input is left untouched.  Runs ceil(log2(n)) passes.
     """
     fmt = array.format
     if kernel is None:
         kernel = make_scan_step_kernel(device, fmt)
+    identity = make_scan_copy_kernel(device, fmt)
     n = array.length
-    ping = device.empty(n, fmt)
-    pong = device.empty(n, fmt)
-    # Copy input into ping via an offset-0-free identity pass.
-    identity = device.kernel(
-        f"scan_copy_{fmt.name}", [("a", fmt)], fmt, "result = a;"
+    if device.graph_enabled:
+        with device.record() as graph:
+            ping, __ = _scan_passes(
+                array, identity, kernel, n, fmt,
+                graph.scratch, graph.launch,
+            )
+            graph.keep(ping)
+        return ping
+    ping, pong = _scan_passes(
+        array, identity, kernel, n, fmt, device.empty, _eager_launch
     )
-    identity(ping, {"a": array})
-    offset = 1
-    while offset < n:
-        kernel(pong, {"a": ping}, {"u_offset": float(offset)})
-        ping, pong = pong, ping
-        offset *= 2
     pong.release()
     return ping
 
@@ -73,7 +106,23 @@ def exclusive_scan(device: GpgpuDevice, array: GpuArray) -> GpuArray:
         "result = gpgpu_index > 0.5 ? fetch_a(gpgpu_index - 1.0) : 0.0;",
         mode="gather",
     )
-    shifted = device.empty(array.length, fmt)
+    kernel = make_scan_step_kernel(device, fmt)
+    identity = make_scan_copy_kernel(device, fmt)
+    n = array.length
+    if device.graph_enabled:
+        # One graph for shift + ladder: the shift output feeds the
+        # seed copy element-for-element, so the scheduler fuses the
+        # pair into a single draw and pools the ping-pong buffers.
+        with device.record() as graph:
+            shifted = graph.scratch(n, fmt)
+            graph.launch(shift, shifted, {"a": array})
+            ping, __ = _scan_passes(
+                shifted, identity, kernel, n, fmt,
+                graph.scratch, graph.launch,
+            )
+            graph.keep(ping)
+        return ping
+    shifted = device.empty(n, fmt)
     shift(shifted, {"a": array})
     result = inclusive_scan(device, shifted)
     shifted.release()

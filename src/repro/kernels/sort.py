@@ -56,12 +56,37 @@ def make_bitonic_step_kernel(device: GpgpuDevice, fmt) -> Kernel:
     )
 
 
+def _bitonic_passes(source, identity, kernel, n, fmt, alloc, launch):
+    """The shared sorting-network schedule: seed copy plus the
+    k(k+1)/2 compare-exchange passes, parameterised over allocation
+    and launch so the eager and graph paths run identically.  Returns
+    (sorted array, the other ping-pong buffer)."""
+    ping = alloc(n, fmt)
+    pong = alloc(n, fmt)
+    launch(identity, ping, {"a": source}, None)
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            launch(kernel, pong, {"a": ping},
+                   {"u_j": float(j), "u_k": float(k)})
+            ping, pong = pong, ping
+            j //= 2
+        k *= 2
+    return ping, pong
+
+
+def _eager_launch(kernel, out, inputs, uniforms=None):
+    return kernel(out, inputs, uniforms)
+
+
 def bitonic_sort(device: GpgpuDevice, array: GpuArray,
                  kernel: Kernel = None) -> GpuArray:
     """Sort a power-of-two-length GpuArray ascending on the GPU.
 
-    Returns a new array; the input is untouched.  Runs
-    log2(n)·(log2(n)+1)/2 passes.
+    Returns a new array (a pooled scratch array in graph mode —
+    ``release()`` returns it to the pool); the input is untouched.
+    Runs log2(n)·(log2(n)+1)/2 passes.
     """
     n = array.length
     if n & (n - 1):
@@ -74,17 +99,17 @@ def bitonic_sort(device: GpgpuDevice, array: GpuArray,
     identity = device.kernel(
         f"bitonic_copy_{fmt.name}", [("a", fmt)], fmt, "result = a;"
     )
-    ping = device.empty(n, fmt)
-    pong = device.empty(n, fmt)
-    identity(ping, {"a": array})
-    k = 2
-    while k <= n:
-        j = k // 2
-        while j >= 1:
-            kernel(pong, {"a": ping}, {"u_j": float(j), "u_k": float(k)})
-            ping, pong = pong, ping
-            j //= 2
-        k *= 2
+    if device.graph_enabled:
+        with device.record() as graph:
+            ping, __ = _bitonic_passes(
+                array, identity, kernel, n, fmt,
+                graph.scratch, graph.launch,
+            )
+            graph.keep(ping)
+        return ping
+    ping, pong = _bitonic_passes(
+        array, identity, kernel, n, fmt, device.empty, _eager_launch
+    )
     pong.release()
     return ping
 

@@ -116,6 +116,23 @@ class ContextStats:
     buffer_upload_bytes: int = 0
     readback_bytes: int = 0
     uniform_updates: int = 0
+    #: Launch-graph scheduler accounting (repro.core.api.graph).
+    #: ``fused_draws`` counts draws that executed a fused map chain;
+    #: ``elided_draws`` counts recorded launches folded into another
+    #: stage's fused draw (each fused draw of an n-stage chain elides
+    #: n-1 draws); ``dead_launches`` counts recorded launches dropped
+    #: because nothing observed their output.  ``scratch_allocs`` /
+    #: ``scratch_reuses`` tally the scratch pool's backing-array
+    #: allocations vs. recycles.  ``elided_intermediate_bytes`` is the
+    #: texel traffic fusion kept on-chip — the written-then-re-read
+    #: bytes of every elided intermediate — priced by perf.wallclock
+    #: as the transfer time the graph path avoided.
+    fused_draws: int = 0
+    elided_draws: int = 0
+    dead_launches: int = 0
+    scratch_allocs: int = 0
+    scratch_reuses: int = 0
+    elided_intermediate_bytes: int = 0
 
     def total_fragments(self) -> int:
         return sum(d.fragment_invocations for d in self.draws)
@@ -138,3 +155,9 @@ class ContextStats:
         self.buffer_upload_bytes = 0
         self.readback_bytes = 0
         self.uniform_updates = 0
+        self.fused_draws = 0
+        self.elided_draws = 0
+        self.dead_launches = 0
+        self.scratch_allocs = 0
+        self.scratch_reuses = 0
+        self.elided_intermediate_bytes = 0

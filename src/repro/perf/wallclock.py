@@ -28,6 +28,12 @@ class GpuTimeline:
     upload_seconds: float
     execute_seconds: float
     readback_seconds: float
+    #: Transfer time the launch-graph fusion *avoided*: the priced
+    #: write+re-read traffic of intermediates that never touched a
+    #: framebuffer (ContextStats.elided_intermediate_bytes).  Not part
+    #: of ``total_seconds`` — it is time saved, reported so benches can
+    #: show the graph path's elided-transfer component explicitly.
+    elided_transfer_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -47,6 +53,8 @@ class GpuTimeline:
             ("readback", self.readback_seconds),
             ("total", self.total_seconds),
         ]
+        if self.elided_transfer_seconds:
+            rows.append(("(elided)", self.elided_transfer_seconds))
         return "\n".join(f"{name:>9}: {seconds * 1e3:10.3f} ms" for name, seconds in rows)
 
 
@@ -55,9 +63,11 @@ def gpu_wall_time(
 ) -> GpuTimeline:
     """Assemble the wall time of everything a context did."""
     model = GpuModel(params)
+    elided_bytes = getattr(stats, "elided_intermediate_bytes", 0)
     return GpuTimeline(
         compile_seconds=model.compile_seconds(stats),
         upload_seconds=model.upload_seconds(stats),
         execute_seconds=model.execute_seconds(stats),
         readback_seconds=model.readback_seconds(stats),
+        elided_transfer_seconds=elided_bytes / params.upload_bytes_per_second,
     )

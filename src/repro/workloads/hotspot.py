@@ -71,12 +71,31 @@ def hotspot_gpu(
         mode="gather",
     )
     power_arr = device.array(power.reshape(-1))
-    ping = device.array(temp.reshape(-1))
-    pong = device.empty(width * height, "float32")
+    source = device.array(temp.reshape(-1))
     uniforms = {
         "u_width": float(width), "u_height": float(height),
         "u_cp": cp, "u_pw": pw,
     }
+    if device.graph_enabled:
+        # Record the whole ping-pong into one graph: the stencil reads
+        # neighbours, so no pass fuses, but the second ping-pong buffer
+        # comes from (and returns to) the device scratch pool.
+        with device.record() as graph:
+            ping = source
+            pong = graph.scratch(width * height, "float32")
+            for __ in range(iterations):
+                graph.launch(
+                    kernel, pong,
+                    {"temp": ping, "power": power_arr}, uniforms,
+                )
+                ping, pong = pong, ping
+            graph.keep(ping)
+        result = ping.to_host().reshape(height, width)
+        if ping is not source:
+            ping.release()
+        return result
+    ping = source
+    pong = device.empty(width * height, "float32")
     for __ in range(iterations):
         kernel(pong, {"temp": ping, "power": power_arr}, uniforms)
         ping, pong = pong, ping

@@ -52,23 +52,90 @@ def _assign_kernel(device: GpgpuDevice, k: int, d: int):
     )
 
 
+def _normalize_kernels(device: GpgpuDevice):
+    """The two-stage pre-conditioning chain: subtract a shift, then
+    multiply by a scale.  Two elementwise map kernels on purpose —
+    under graph mode the scheduler fuses them into one draw (the
+    intermediate is consumed element-for-element by exactly one
+    launch), which is the workload's map-chain fusion showcase."""
+    shift = device.kernel(
+        "kmeans_shift",
+        [("a", "float32")],
+        "float32",
+        "result = a - u_shift;",
+        uniforms=[("u_shift", "float")],
+    )
+    scale = device.kernel(
+        "kmeans_scale",
+        [("a", "float32")],
+        "float32",
+        "result = u_scale * a;",
+        uniforms=[("u_scale", "float")],
+    )
+    return shift, scale
+
+
 def kmeans_assign_gpu(
-    device: GpgpuDevice, points: np.ndarray, centroids: np.ndarray
+    device: GpgpuDevice,
+    points: np.ndarray,
+    centroids: np.ndarray,
+    shift: float = None,
+    scale: float = None,
 ) -> np.ndarray:
-    """GPU assignment step.  Returns the (n,) int32 membership array."""
+    """GPU assignment step.  Returns the (n,) int32 membership array.
+
+    ``shift``/``scale`` enable an optional on-GPU pre-conditioning of
+    both coordinate sets, ``(v - shift) * scale`` — membership is
+    invariant under the affine map (distances scale uniformly), but
+    conditioning coordinates around zero keeps the distance arithmetic
+    inside the device float format's accurate band.  The two map
+    passes fuse into a single draw per coordinate set under graph
+    mode.
+    """
     points = np.asarray(points, dtype=np.float32)
     centroids = np.asarray(centroids, dtype=np.float32)
     n, d = points.shape
     k = centroids.shape[0]
     kernel = _assign_kernel(device, k, d)
+    points_arr = device.array(points.reshape(-1))
+    centroids_arr = device.array(centroids.reshape(-1))
     out = device.empty(n, "int32")
-    kernel(
-        out,
-        {
-            "points": device.array(points.reshape(-1)),
-            "centroids": device.array(centroids.reshape(-1)),
-        },
-    )
+    if shift is None and scale is None:
+        kernel(out, {"points": points_arr, "centroids": centroids_arr})
+        return out.to_host()
+    shift = float(0.0 if shift is None else shift)
+    scale = float(1.0 if scale is None else scale)
+    shift_k, scale_k = _normalize_kernels(device)
+    if device.graph_enabled:
+        with device.record() as graph:
+            normalized = {}
+            for name, arr, length in (
+                ("points", points_arr, n * d),
+                ("centroids", centroids_arr, k * d),
+            ):
+                mid = graph.scratch(length, "float32")
+                graph.launch(shift_k, mid, {"a": arr},
+                             {"u_shift": shift})
+                cooked = graph.scratch(length, "float32")
+                graph.launch(scale_k, cooked, {"a": mid},
+                             {"u_scale": scale})
+                normalized[name] = cooked
+            graph.launch(kernel, out, normalized)
+        return out.to_host()
+    normalized = {}
+    for name, arr, length in (
+        ("points", points_arr, n * d),
+        ("centroids", centroids_arr, k * d),
+    ):
+        mid = device.empty(length, "float32")
+        shift_k(mid, {"a": arr}, {"u_shift": shift})
+        cooked = device.empty(length, "float32")
+        scale_k(cooked, {"a": mid}, {"u_scale": scale})
+        mid.release()
+        normalized[name] = cooked
+    kernel(out, normalized)
+    for cooked in normalized.values():
+        cooked.release()
     return out.to_host()
 
 

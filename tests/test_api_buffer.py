@@ -121,3 +121,35 @@ class TestResidencyTracking:
         before = len(device.ctx.stats.draws)
         a.to_host()  # uploaded array -> copy path
         assert len(device.ctx.stats.draws) == before + 1
+
+
+class TestUnsupportedHostDtypes:
+    """device.array() rejects host dtypes with no §IV byte layout with
+    a GpgpuError listing the supported formats (ISSUE 7 satellite)."""
+
+    def test_int64_inference_rejected_with_format_list(self, device):
+        with pytest.raises(GpgpuError) as excinfo:
+            device.array(np.arange(4, dtype=np.int64))
+        message = str(excinfo.value)
+        assert "int64" in message
+        assert "float32" in message and "int32" in message
+        assert "fmt=" in message
+
+    def test_float64_inference_rejected(self, device):
+        with pytest.raises(GpgpuError) as excinfo:
+            device.array(np.linspace(0.0, 1.0, 4, dtype=np.float64))
+        assert "float64" in str(excinfo.value)
+        assert "supports" in str(excinfo.value)
+
+    def test_unknown_explicit_format_lists_choices(self, device):
+        with pytest.raises(GpgpuError) as excinfo:
+            device.array(np.arange(4, dtype=np.int32), fmt="int128")
+        message = str(excinfo.value)
+        assert "int128" in message
+        assert "uint8" in message
+
+    def test_explicit_fmt_rescues_wide_host_dtype(self, device):
+        array = device.array(np.arange(4, dtype=np.int64), fmt="int32")
+        assert np.array_equal(
+            array.to_host(), np.arange(4, dtype=np.int32)
+        )

@@ -214,3 +214,49 @@ class TestMultiOutputKernel:
         before = len(device.ctx.stats.draws)
         kernel(outs, {"a": a})
         assert len(device.ctx.stats.draws) == before + 3
+
+
+class TestUniformValueErrors:
+    """Bad uniform *values* surface as GpgpuError naming the kernel,
+    the uniform, its declared type, and the offending shape — not as a
+    bare numpy ValueError (ISSUE 7 satellite)."""
+
+    def test_wrong_shaped_vec_uniform(self, device):
+        kernel = device.kernel(
+            "udot2", [("x", "float32")], "float32",
+            "result = dot(u_v, vec2(x, 1.0));",
+            uniforms=[("u_v", "vec2")],
+        )
+        x = device.array(np.array([2.0], dtype=np.float32))
+        out = device.empty(1, "float32")
+        with pytest.raises(GpgpuError) as excinfo:
+            kernel(out, {"x": x}, {"u_v": (1.0, 2.0, 3.0)})
+        message = str(excinfo.value)
+        assert "udot2" in message
+        assert "u_v" in message
+        assert "vec2" in message
+        assert "(3,)" in message
+
+    def test_non_numeric_uniform_value(self, device):
+        kernel = device.kernel(
+            "uscale1", [("x", "float32")], "float32",
+            "result = u_k * x;", uniforms=[("u_k", "float")],
+        )
+        x = device.array(np.array([2.0], dtype=np.float32))
+        out = device.empty(1, "float32")
+        with pytest.raises(GpgpuError) as excinfo:
+            kernel(out, {"x": x}, {"u_k": "fast"})
+        message = str(excinfo.value)
+        assert "uscale1" in message
+        assert "u_k" in message
+
+    def test_good_uniform_still_works(self, device):
+        kernel = device.kernel(
+            "udot2b", [("x", "float32")], "float32",
+            "result = dot(u_v, vec2(x, 1.0));",
+            uniforms=[("u_v", "vec2")],
+        )
+        x = device.array(np.array([2.0], dtype=np.float32))
+        out = device.empty(1, "float32")
+        kernel(out, {"x": x}, {"u_v": (3.0, 4.0)})
+        assert out.to_host()[0] == pytest.approx(10.0, abs=1e-3)
