@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench report examples all
+.PHONY: install test bench report examples all cache-stats
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,6 +16,11 @@ bench-full:
 
 report:
 	python -m repro.experiments.report EXPERIMENTS.md
+
+# Usage of the persistent compile-artifact cache (honours
+# REPRO_CACHE_DIR; see docs/architecture.md §7).
+cache-stats:
+	PYTHONPATH=src python -m repro.cache stats
 
 examples:
 	for e in examples/*.py; do echo "== $$e"; python $$e || exit 1; done

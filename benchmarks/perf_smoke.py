@@ -27,7 +27,11 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import statistics
+import subprocess
+import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -281,6 +285,134 @@ def bench_graph():
     return stats
 
 
+COLD_WARM_REPS = 5
+COLD_WARM_MIN_SPEEDUP = 2.0
+
+#: Child process for the cold/warm first-launch columns: build the
+#: sgemm-8 JIT kernel and run its first launch in a fresh interpreter,
+#: timing only the in-process work (interpreter/numpy startup is the
+#: same either way and would dilute the compile-path signal).
+_COLD_WARM_CHILD = r"""
+import hashlib, json, time
+import numpy as np
+from repro.core.api.device import GpgpuDevice
+from repro.kernels.sgemm import make_sgemm_kernel
+
+n = 8
+rng = np.random.default_rng(1)
+a_host = rng.uniform(-1, 1, size=n * n).astype(np.float32)
+b_host = rng.uniform(-1, 1, size=n * n).astype(np.float32)
+c_host = rng.uniform(-1, 1, size=n * n).astype(np.float32)
+
+t0 = time.perf_counter()
+dev = GpgpuDevice(float_model="videocore", execution_backend="jit")
+a = dev.array(a_host, "float32")
+b = dev.array(b_host, "float32")
+c0 = dev.array(c_host, "float32")
+out = dev.empty(n * n, "float32")
+kernel = make_sgemm_kernel(dev, "float32", n)
+kernel(out, {"a": a, "b": b, "c0": c0},
+       {"u_n": float(n), "u_alpha": 1.0, "u_beta": 1.0})
+res = out.to_host()
+elapsed = time.perf_counter() - t0
+
+from repro.core import cache as store
+from repro.glsl import ir, jit
+print(json.dumps({
+    "first_launch_ms": elapsed * 1e3,
+    "digest": hashlib.sha256(res.tobytes()).hexdigest(),
+    "disk": store.stats.snapshot(),
+    "ir": ir.compile_events,
+    "jit": jit.codegen_events,
+}))
+"""
+
+
+def _cold_warm_child(cache_dir):
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env.setdefault("PYTHONPATH", str(Path(__file__).parent.parent / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-c", _COLD_WARM_CHILD],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"first_launch_sgemm_float32: child failed\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def bench_cold_warm(reps=COLD_WARM_REPS):
+    """Disk-cache first-launch columns: kernel build + first launch of
+    sgemm-8 (JIT) in a fresh process, against an empty artifact store
+    (cold) vs a populated one (warm).  Fails the bench run outright if
+    the warm runs stop hitting the disk cache, compile anything fresh,
+    or lose the required speedup — a silent cache loss would otherwise
+    read as an ordinary perf regression."""
+    base = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cold_samples, warm_samples = [], []
+        digests = set()
+        warm_dir = os.path.join(base, "warm")
+        primer = _cold_warm_child(warm_dir)  # populate the shared store
+        digests.add(primer["digest"])
+        warm_reports = []
+        for i in range(reps):
+            cold = _cold_warm_child(os.path.join(base, f"cold{i}"))
+            warm = _cold_warm_child(warm_dir)
+            cold_samples.append(cold["first_launch_ms"])
+            warm_samples.append(warm["first_launch_ms"])
+            digests.add(cold["digest"])
+            digests.add(warm["digest"])
+            warm_reports.append(warm)
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    if len(digests) != 1:
+        raise SystemExit(
+            "first_launch_sgemm_float32: warm-start output diverged "
+            "from cold compile — the artifact store broke bit-identity"
+        )
+    for warm in warm_reports:
+        if warm["disk"]["hits"] == 0:
+            raise SystemExit(
+                "first_launch_sgemm_float32: warm run recorded zero "
+                "disk-cache hits — the persistent store stopped serving"
+            )
+        if warm["ir"]["fresh"] or warm["jit"]["fresh"]:
+            raise SystemExit(
+                "first_launch_sgemm_float32: warm run still compiled "
+                f"fresh (ir={warm['ir']}, jit={warm['jit']})"
+            )
+    stats = {
+        "cold": {
+            "median_ms": statistics.median(cold_samples),
+            "min_ms": min(cold_samples),
+            "reps": reps,
+        },
+        "warm": {
+            "median_ms": statistics.median(warm_samples),
+            "min_ms": min(warm_samples),
+            "reps": reps,
+        },
+    }
+    last = warm_reports[-1]
+    stats["warm"]["disk_cache_hits"] = last["disk"]["hits"]
+    stats["warm"]["ir_compiles_fresh"] = last["ir"]["fresh"]
+    stats["warm"]["jit_codegen_fresh"] = last["jit"]["fresh"]
+    stats["cold"]["correct"] = stats["warm"]["correct"] = True
+    speedup = (stats["cold"]["median_ms"]
+               / max(stats["warm"]["median_ms"], 1e-9))
+    if speedup < COLD_WARM_MIN_SPEEDUP:
+        raise SystemExit(
+            "first_launch_sgemm_float32: warm first launch is only "
+            f"{speedup:.2f}x faster than cold "
+            f"(required >= {COLD_WARM_MIN_SPEEDUP}x) — the disk cache "
+            "stopped paying for itself"
+        )
+    return stats
+
+
 def sweep_tile(n=SGEMM_N_XL, workers=SHADE_WORKERS,
                tiles=(16, 32, 64, 128, 0), reps=XL_REPS, warmup=XL_WARMUP):
     """Tile-size sweep behind DEFAULT_TILE_SIZE: times sgemm-``n``
@@ -332,7 +464,10 @@ def main(argv=None):
             "multiprocess fragment shading "
             f"(shade_workers={SHADE_WORKERS}); map_chain_float32 "
             "times the deferred launch graph (record + fused replay) "
-            "against eager multi-pass dispatch"
+            "against eager multi-pass dispatch; "
+            "first_launch_sgemm_float32 times kernel build + first "
+            "launch in a fresh process with the persistent artifact "
+            "store cold vs warm (REPRO_CACHE_DIR)"
         ),
         "python": platform.python_version(),
         # Worker-pool columns only make sense relative to the cores
@@ -364,6 +499,12 @@ def main(argv=None):
         # chain into one draw (asserted, not just timed).
         ("map_chain_float32", bench_graph, GRAPH_CHAIN_N,
          ("eager", "graph")),
+        # Persistent artifact store: kernel build + first launch in a
+        # fresh process, cold (empty REPRO_CACHE_DIR) vs warm
+        # (populated).  Asserts disk hits, zero fresh compiles, and
+        # the minimum warm speedup — not just timed.
+        ("first_launch_sgemm_float32", bench_cold_warm, SGEMM_N,
+         ("cold", "warm")),
     ):
         per_backend = fn()
         for backend in timed:
@@ -387,6 +528,11 @@ def main(argv=None):
                      / per_backend["graph"]["median_ms"])
             per_backend["speedup_graph_over_eager"] = round(ratio, 3)
             print(f"{name} speedup (eager/graph): {ratio:.3f}x")
+        if "cold" in per_backend and "warm" in per_backend:
+            ratio = (per_backend["cold"]["median_ms"]
+                     / per_backend["warm"]["median_ms"])
+            per_backend["speedup_warm_over_cold"] = round(ratio, 3)
+            print(f"{name} speedup (cold/warm): {ratio:.3f}x")
         per_backend["size"] = size
         report["workloads"][name] = per_backend
 

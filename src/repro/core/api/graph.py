@@ -38,7 +38,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..codegen.fuse import FusedStage, compose_chain, stage_unfusable_reason
+from ..codegen.fuse import (
+    FusedStage,
+    compose_chain_cached,
+    stage_unfusable_reason,
+)
 from ..numerics.formats import NumericFormat, get_format
 from .buffer import GpuArray, texture_shape
 from .errors import GpgpuError, ShaderBuildError
@@ -540,7 +544,7 @@ class LaunchGraph:
             )
         final = chain[-1]
         try:
-            recipe = compose_chain(stages)
+            recipe = compose_chain_cached(stages)
             fused = device.kernel(
                 name=recipe.name,
                 inputs=recipe.inputs,

@@ -36,6 +36,7 @@ like any other kernel.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -143,6 +144,35 @@ class FusedRecipe:
     input_map: List[Tuple[int, str, str]] = field(default_factory=list)
     #: (stage index, original uniform name, fused uniform name)
     uniform_map: List[Tuple[int, str, str]] = field(default_factory=list)
+    #: Content digest of the chain (stage recipes + wiring) — embedded
+    #: in the generated source as a ``// gpgpu-fusion:`` marker so the
+    #: persistent artifact store keys fused compiles on the chain
+    #: identity, and used to memoise recompositions across replays.
+    signature: str = ""
+
+
+def fusion_signature(stages: Sequence[FusedStage]) -> str:
+    """Content digest of a fused chain: every field of every stage
+    recipe that reaches the generated source, plus the intermediate
+    wiring.  Two chains with the same signature compose to textually
+    identical fused programs, so the signature is safe to use both as
+    the recomposition memo key and as the persistent artifact-store
+    key component for fused compiles."""
+    h = hashlib.sha1()
+    for stage in stages:
+        spec = stage.spec
+        h.update(repr((
+            spec.name,
+            tuple(spec.inputs),
+            spec.output,
+            spec.body,
+            tuple(spec.uniforms),
+            spec.mode,
+            spec.preamble,
+            tuple(sorted(stage.intermediates)),
+        )).encode())
+        h.update(b"\x1f")
+    return h.hexdigest()
 
 
 def compose_chain(stages: Sequence[FusedStage]) -> FusedRecipe:
@@ -238,7 +268,14 @@ def compose_chain(stages: Sequence[FusedStage]) -> FusedRecipe:
             )
 
     name = "fuse[" + "+".join(stage.spec.name for stage in stages) + "]"
-    preamble = "\n".join(roundtrips + preambles)
+    signature = fusion_signature(stages)
+    # The marker rides in the generated GLSL so the front end can stamp
+    # the chain identity onto the CheckedShader (see
+    # repro.gles2.shader._FUSION_MARKER) and key persistent IR/JIT
+    # artifacts on it.
+    preamble = "\n".join(
+        [f"// gpgpu-fusion: {signature}"] + roundtrips + preambles
+    )
     extra_formats = sorted(
         {get_format(stage.spec.output).name for stage in stages[:-1]}
     )
@@ -252,4 +289,21 @@ def compose_chain(stages: Sequence[FusedStage]) -> FusedRecipe:
         extra_formats=extra_formats,
         input_map=input_map,
         uniform_map=uniform_map,
+        signature=signature,
     )
+
+
+#: Recipes memoised on their fusion signature: replaying the same
+#: recorded graph re-composes each chain once per process instead of
+#: once per replay, and repeated replays hand ``device.kernel()`` a
+#: textually identical program so its own memo hits too.
+_RECIPE_MEMO: Dict[str, FusedRecipe] = {}
+
+
+def compose_chain_cached(stages: Sequence[FusedStage]) -> FusedRecipe:
+    """Memoised :func:`compose_chain` (keyed on the chain signature)."""
+    signature = fusion_signature(stages)
+    recipe = _RECIPE_MEMO.get(signature)
+    if recipe is None:
+        recipe = _RECIPE_MEMO[signature] = compose_chain(stages)
+    return recipe

@@ -92,6 +92,12 @@ class GLES2Context:
         self.shade_workers = shade_workers
         self.error_state = ErrorState(strict=strict_errors)
         self.stats = ContextStats()
+        # Baseline snapshot of the process-wide disk-cache counters:
+        # per-context stats report the deltas accrued while this
+        # context was doing the compiling/drawing.
+        from ..perf.counters import disk_cache_stats
+
+        self._disk_stats_last = disk_cache_stats.snapshot()
 
         self._default_framebuffer = DefaultFramebuffer(width, height)
         self._textures: Dict[int, Texture] = {}
@@ -544,6 +550,9 @@ class GLES2Context:
             return
         obj.compile()
         self.stats.shader_compiles += 1
+        if getattr(obj, "loaded_from_disk", False):
+            self.stats.disk_warm_compiles += 1
+        self._sync_disk_cache_stats()
 
     def glGetShaderiv(self, shader: int, pname: int) -> int:
         obj = self._shaders.get(shader)
@@ -1079,6 +1088,31 @@ class GLES2Context:
             shade_workers=self.shade_workers,
         )
         self.stats.draws.append(stats)
+        # IR/JIT artifacts are pulled from the persistent store lazily
+        # at first-draw time (not at glCompileShader), so fold the
+        # counter deltas in here too.
+        self._sync_disk_cache_stats()
+
+    def _sync_disk_cache_stats(self) -> None:
+        """Accumulate process-wide artifact-store counter deltas since
+        the last sync into this context's stats.  Keeps per-context
+        numbers meaningful when several contexts (or none — e.g. the
+        maintenance CLI) touch the shared store in one process."""
+        from ..perf.counters import disk_cache_stats
+
+        current = disk_cache_stats.snapshot()
+        last = self._disk_stats_last
+        self.stats.disk_cache_hits += current["hits"] - last["hits"]
+        self.stats.disk_cache_misses += (
+            current["misses"] - last["misses"]
+        )
+        self.stats.disk_cache_evictions += (
+            current["evictions"] - last["evictions"]
+        )
+        self.stats.disk_cache_corrupt += (
+            current["corrupt"] - last["corrupt"]
+        )
+        self._disk_stats_last = current
 
 
 def _gl_type_of(gtype) -> int:

@@ -53,14 +53,31 @@ from ..perf.counters import OpCounters
 #: benchmarks — asserting the pool was exercised, not silently skipped).
 parallel_draws = 0
 
+#: Draws whose plan shipped only a disk-cache key — the generated
+#: source and captured arrays stayed out of the pickle stream because
+#: the shared artifact store (:mod:`repro.core.cache`) holds them.
+plan_cache_refs = 0
+
+#: Worker-side plan materialisations served by the disk cache (each
+#: worker loads a given plan at most once; summed from chunk results).
+worker_disk_loads = 0
+
 _POOL = None
 _POOL_WORKERS = 0
 _POOL_BROKEN = False
 
 
+class PlanCacheMiss(Exception):
+    """A worker was handed a key-only plan whose disk entry vanished
+    (eviction race).  The leader falls back to in-process shading —
+    the pool itself is healthy."""
+
+
 def reset_stats() -> None:
-    global parallel_draws
+    global parallel_draws, plan_cache_refs, worker_disk_loads
     parallel_draws = 0
+    plan_cache_refs = 0
+    worker_disk_loads = 0
 
 
 def shutdown_pool() -> None:
@@ -248,14 +265,28 @@ def shade_draw(
 
     plan_payload = {
         "uid": digest,
-        "source": fn._jit_source,
-        "captured": captured,
         "fmodel": fs_interp.fmodel,
         "nregs": program.nregs,
         "base": base_regs,
         "out_reg": out_reg,
         "maxit": fs_interp.max_loop_iterations,
     }
+    # Ship a disk-cache reference instead of the generated source when
+    # the shared artifact store holds this function: workers then load
+    # the artifact by key (once per plan per worker) and the pickle
+    # stream carries only the key string.  The source payload remains
+    # the fallback whenever no entry exists (cache disabled, capture
+    # unsupported for storage, entry evicted).
+    from ..core import cache as artifact_cache
+
+    global plan_cache_refs
+    cache_key = getattr(fn, "_jit_disk_key", None)
+    shipped_by_ref = cache_key is not None and artifact_cache.contains(cache_key)
+    if shipped_by_ref:
+        plan_payload["cache_key"] = cache_key
+    else:
+        plan_payload["source"] = fn._jit_source
+        plan_payload["captured"] = captured
     # One job of contiguous tiles per worker, the tiles *merged* into a
     # single fragment batch (see module docstring): ships the plan (and
     # its textures) workers times per draw, and pays the generated
@@ -276,11 +307,13 @@ def shade_draw(
             ))
         results: List[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]] = []
         gathers = fallbacks = 0
+        disk_loads = 0
         for idx, future in zip(chunk_indices, futures):
-            color, discarded, (chunk_gathers, chunk_fallbacks) = \
+            color, discarded, (chunk_gathers, chunk_fallbacks), from_disk = \
                 future.result()
             gathers += chunk_gathers
             fallbacks += chunk_fallbacks
+            disk_loads += from_disk
             results.append((idx, color, discarded))
     except GlslLimitError:
         # Shader semantics, not infrastructure: surface it like the
@@ -288,6 +321,12 @@ def shade_draw(
         # but the counters charged below never happen — matching a
         # monolithic run, which raises before its static accounting).
         raise
+    except PlanCacheMiss:
+        # The shared entry vanished between the leader's existence
+        # check and the worker's load (eviction/clear race).  The pool
+        # is healthy; shade this draw in-process and let the next draw
+        # re-ship (the leader will republish or fall back to source).
+        return None
     except Exception:
         _mark_broken()
         return None
@@ -302,6 +341,10 @@ def shade_draw(
     fs_interp.texture_gathers += gathers
     fs_interp.gather_fallbacks += fallbacks
     parallel_draws += 1
+    if shipped_by_ref:
+        plan_cache_refs += 1
+    global worker_disk_loads
+    worker_disk_loads += disk_loads
     return results
 
 
@@ -322,9 +365,15 @@ class _Reg:
 _WORKER_FNS: Dict[str, object] = {}
 
 
-def _materialize(plan) -> object:
+def _materialize(plan) -> Tuple[object, int]:
+    """Build (or reuse) the worker-side function for one plan; returns
+    ``(fn, from_disk)`` where ``from_disk`` is 1 when this call loaded
+    the artifact from the shared disk cache."""
     fn = _WORKER_FNS.get(plan["uid"])
-    if fn is None:
+    if fn is not None:
+        return fn, 0
+    from_disk = 0
+    if "source" in plan:
         from ..glsl.builtins import OVERLOADS_BY_KEY
         from ..glsl.jit.codegen import make_helpers
 
@@ -335,16 +384,36 @@ def _materialize(plan) -> object:
                 else OVERLOADS_BY_KEY[payload].impl
             )
         exec(compile(plan["source"], "<jit:worker>", "exec"), ns)
-        fn = _WORKER_FNS[plan["uid"]] = ns["_jit_main"]
-    return fn
+        fn = ns["_jit_main"]
+    else:
+        # Key-only plan: the generated source lives in the shared
+        # artifact store; load it by digest instead of receiving it
+        # through the pickle stream.
+        from ..core import cache as artifact_cache
+        from ..glsl import jit as jit_mod
+
+        payload = artifact_cache.get(plan["cache_key"])
+        entry = (artifact_cache.load_jit_entry(payload)
+                 if payload is not None else None)
+        if entry is None or "unsupported" in entry:
+            raise PlanCacheMiss(plan["cache_key"])
+        fn = jit_mod.materialize(
+            entry["source"],
+            artifact_cache.decode_captured(entry["captured"]),
+            plan["fmodel"],
+        )
+        from_disk = 1
+    _WORKER_FNS[plan["uid"]] = fn
+    return fn, from_disk
 
 
 def _shade_chunk(plan, wide_regs, count):
     """Shade one worker's merged tile chunk in a single invocation;
-    returns ``(color_data, discarded, (gathers, fallbacks))`` — the
-    last element the chunk's texture-gather delta (the leader folds it
-    back into the draw's executor)."""
-    fn = _materialize(plan)
+    returns ``(color_data, discarded, (gathers, fallbacks),
+    from_disk)`` — the gather element is the chunk's texture-gather
+    delta and ``from_disk`` flags a plan materialised from the shared
+    disk cache (the leader folds both back into its counters)."""
+    fn, from_disk = _materialize(plan)
     regs: List[Optional[_Reg]] = [None] * plan["nregs"]
     for reg, (kind, payload) in plan["base"].items():
         if kind == "sampler":
@@ -358,4 +427,4 @@ def _shade_chunk(plan, wide_regs, count):
     discarded = fn(regs, count, plan["maxit"])
     delta = ((gst[0] - before[0], gst[1] - before[1])
              if gst is not None else (0, 0))
-    return regs[plan["out_reg"]].data, discarded, delta
+    return regs[plan["out_reg"]].data, discarded, delta, from_disk

@@ -18,6 +18,7 @@ locations are assigned (respecting ``glBindAttribLocation``).
 from __future__ import annotations
 
 import hashlib
+import re
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -39,8 +40,27 @@ _FRONTEND_CACHE: Dict[Tuple[str, str], CheckedShader] = {}
 _FRONTEND_CACHE_MAX = 256
 
 #: Mutable hit/miss tally for the front-end cache, exposed for tests
-#: and the perf harness.
-frontend_cache_stats = {"hits": 0, "misses": 0}
+#: and the perf harness.  ``disk_hits`` counts the in-memory misses
+#: that the persistent artifact store (:mod:`repro.core.cache`) served
+#: instead of a fresh parse/typecheck; they also count as ``misses``
+#: (of this in-process cache), preserving the historical meaning.
+frontend_cache_stats = {"hits": 0, "misses": 0, "disk_hits": 0}
+
+#: Fusion-signature marker the map-chain composer embeds in fused
+#: kernel sources (see repro.core.codegen.fuse.compose_chain); the
+#: signature becomes a component of the disk-cache keys of every
+#: artifact compiled from that source.
+_FUSION_MARKER = re.compile(r"//\s*gpgpu-fusion:\s*([0-9a-f]+)")
+
+
+def _attach_artifact_attrs(checked: CheckedShader, source_digest: str,
+                           source: str) -> None:
+    """Stamp the front-end artifact with the identity the disk-cache
+    layers key on: the source digest and (for fused map chains) the
+    fusion signature."""
+    checked.source_digest = source_digest
+    match = _FUSION_MARKER.search(source)
+    checked.fusion_signature = match.group(1) if match else ""
 
 
 def frontend_cache_key(stage: str, source: str) -> Tuple[str, str]:
@@ -56,6 +76,7 @@ def clear_frontend_cache() -> None:
     _FRONTEND_CACHE.clear()
     frontend_cache_stats["hits"] = 0
     frontend_cache_stats["misses"] = 0
+    frontend_cache_stats["disk_hits"] = 0
 
 
 class Shader:
@@ -69,6 +90,11 @@ class Shader:
         self.info_log = ""
         self.checked: Optional[CheckedShader] = None
         self.deleted = False
+        #: Whether the last successful compile was served by the
+        #: persistent artifact store (no fresh parse/typecheck ran in
+        #: this process for this source).  The context counts these as
+        #: ``disk_warm_compiles`` for the wall-time model.
+        self.loaded_from_disk = False
 
     @property
     def stage(self) -> str:
@@ -77,10 +103,15 @@ class Shader:
         return ShaderStage.FRAGMENT
 
     def compile(self) -> None:
-        """glCompileShader: run the full front end (or hit the cache)."""
+        """glCompileShader: run the full front end — or hit the
+        in-process cache, or warm-start from the persistent artifact
+        store (:mod:`repro.core.cache`)."""
+        from ..core import cache as artifact_cache
+
         self.compiled = False
         self.checked = None
         self.info_log = ""
+        self.loaded_from_disk = False
         key = frontend_cache_key(self.stage, self.source)
         cached = _FRONTEND_CACHE.get(key)
         if cached is not None:
@@ -89,14 +120,41 @@ class Shader:
             self.compiled = True
             return
         frontend_cache_stats["misses"] += 1
+        disk_key = None
+        if artifact_cache.enabled():
+            disk_key = artifact_cache.artifact_key(
+                "frontend", key[1], stage=self.stage
+            )
+            data = artifact_cache.get(disk_key)
+            if data is not None:
+                checked = artifact_cache.load_checked(data)
+                if checked is not None and checked.stage == self.stage:
+                    _attach_artifact_attrs(checked, key[1], self.source)
+                    frontend_cache_stats["disk_hits"] += 1
+                    self.checked = checked
+                    self.compiled = True
+                    self.loaded_from_disk = True
+                    if len(_FRONTEND_CACHE) >= _FRONTEND_CACHE_MAX:
+                        _FRONTEND_CACHE.clear()
+                    _FRONTEND_CACHE[key] = checked
+                    return
+                # Undeserialisable payload or wrong stage under a
+                # colliding key: drop the entry and recompile.
+                artifact_cache.invalidate(disk_key)
         try:
             preprocessed = preprocess(self.source)
             unit = optimize(parse(preprocessed.source))
             self.checked = check(unit, self.stage)
+            _attach_artifact_attrs(self.checked, key[1], self.source)
             self.compiled = True
             if len(_FRONTEND_CACHE) >= _FRONTEND_CACHE_MAX:
                 _FRONTEND_CACHE.clear()
             _FRONTEND_CACHE[key] = self.checked
+            if disk_key is not None:
+                artifact_cache.put(
+                    disk_key, artifact_cache.dump_checked(self.checked),
+                    "frontend",
+                )
         except GlslError as exc:
             self.info_log = exc.info_log_entry() + "\n"
 

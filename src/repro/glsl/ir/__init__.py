@@ -10,7 +10,15 @@ drop-in, bit-identical replacement for the AST tree walker.
 :func:`get_compiled` is the cached front door: compiled artifacts are
 memoised per (float model, dtype) on the CheckedShader itself, so
 repeated draws — and repeated kernels compiled from identical source —
-skip lowering and the pass pipeline entirely.
+skip lowering and the pass pipeline entirely.  Under that in-process
+memo sits the persistent artifact store (:mod:`repro.core.cache`):
+shaders carrying a source digest (everything compiled through the
+gles2 front end) load their optimised ``CompiledProgram`` from disk on
+a memory miss and only run the pass pipeline when no process has ever
+compiled this (source, float model) before.  ``compile_events`` counts
+how each program was obtained — ``fresh`` (pipeline ran, disk entry
+written), ``disk`` (warm start), ``uncached`` (no digest or cache
+disabled) — which the warm-CI leg asserts over.
 """
 
 from __future__ import annotations
@@ -31,11 +39,13 @@ __all__ = [
     "Lowerer",
     "StaticCost",
     "annotate_gathers",
+    "compile_events",
     "compile_ir",
     "dump_ir",
     "flatten_program",
     "get_compiled",
     "lower_shader",
+    "reset_compile_events",
     "run_passes",
     "static_cost",
 ]
@@ -44,6 +54,47 @@ __all__ = [
 def _model_key(fmodel) -> tuple:
     return (getattr(fmodel, "name", fmodel.__class__.__name__),
             np.dtype(fmodel.dtype).str)
+
+
+#: How compiled programs were obtained this process (see module
+#: docstring).  reset via :func:`reset_compile_events`.
+compile_events = {"fresh": 0, "disk": 0, "uncached": 0}
+
+
+def reset_compile_events() -> None:
+    for key in compile_events:
+        compile_events[key] = 0
+
+
+def _load_or_compile(checked, fmodel, mkey) -> CompiledProgram:
+    """The disk layer under the in-memory program memo."""
+    from ...core import cache as artifact_cache
+
+    digest = getattr(checked, "source_digest", None)
+    disk_key = None
+    if digest is not None and artifact_cache.enabled():
+        disk_key = artifact_cache.artifact_key(
+            "ir", digest,
+            stage=getattr(checked, "stage", ""),
+            model=f"{mkey[0]}:{mkey[1]}",
+            fusion=getattr(checked, "fusion_signature", ""),
+        )
+        data = artifact_cache.get(disk_key)
+        if data is not None:
+            program = artifact_cache.load_program(data, checked)
+            if program is not None:
+                compile_events["disk"] += 1
+                return program
+            artifact_cache.invalidate(disk_key)
+    program = compile_ir(checked, fmodel)
+    if disk_key is not None:
+        compile_events["fresh"] += 1
+        artifact_cache.put(
+            disk_key, artifact_cache.dump_program(program), "ir"
+        )
+    else:
+        compile_events["uncached"] += 1
+    return program
 
 
 def compile_ir(checked, fmodel=None) -> CompiledProgram:
@@ -75,6 +126,6 @@ def get_compiled(checked, fmodel=None) -> CompiledProgram:
     key = _model_key(fmodel)
     program = cache.get(key)
     if program is None:
-        program = compile_ir(checked, fmodel)
+        program = _load_or_compile(checked, fmodel, key)
         cache[key] = program
     return program

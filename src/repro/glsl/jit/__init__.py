@@ -49,9 +49,12 @@ __all__ = [
     "JitExecutor",
     "JitUnsupported",
     "UniformInfo",
+    "codegen_events",
     "gather_enabled",
     "infer_uniform",
     "jit_fallbacks",
+    "materialize",
+    "reset_codegen_events",
     "reset_fallbacks",
     "set_gather_enabled",
     "texture_gather",
@@ -60,6 +63,19 @@ __all__ = [
 #: Number of draws that fell back to the IRExecutor because the
 #: program (or this draw's runtime shape) is outside the JIT subset.
 jit_fallbacks = 0
+
+#: How generated functions were obtained this process: ``fresh``
+#: (codegen ran, disk entry written), ``disk`` (rematerialised from
+#: the persistent artifact store — exec of cached source only),
+#: ``uncached`` (no source digest or cache disabled).  The warm-CI leg
+#: asserts ``fresh`` stays zero on a second run against a shared
+#: ``REPRO_CACHE_DIR``.
+codegen_events = {"fresh": 0, "disk": 0, "uncached": 0}
+
+
+def reset_codegen_events() -> None:
+    for key in codegen_events:
+        codegen_events[key] = 0
 
 
 def reset_fallbacks() -> None:
@@ -85,6 +101,44 @@ def texture_gather(enabled: bool):
         set_gather_enabled(previous)
 
 
+def materialize(source: str, captured: Dict[str, object], fmodel):
+    """Rebuild a generated JIT function from its source text and
+    captured namespace — the warm-start path shared by the disk cache
+    and the :mod:`repro.gles2.parallel` workers.  The helper closures
+    are rebuilt from the float model; the returned function carries the
+    same ``_jit_source``/``_jit_captured``/``_jit_gather_stats``
+    attributes :func:`~.codegen.generate` attaches, so it is
+    indistinguishable from a freshly generated one."""
+    from .codegen import make_helpers
+
+    ns = make_helpers(fmodel)
+    ns.update(captured)
+    exec(compile(source, "<jit:cache>", "exec"), ns)
+    fn = ns["_jit_main"]
+    fn._jit_source = source
+    fn._jit_captured = dict(captured)
+    fn._jit_gather_stats = ns["_gst"]
+    return fn
+
+
+def _disk_key(program, fmodel, wide: FrozenSet[str]):
+    """The artifact-store key for one generated function, or None when
+    the program has no source digest / the store is disabled."""
+    from ...core import cache as artifact_cache
+
+    digest = getattr(program.checked, "source_digest", None)
+    if digest is None or not artifact_cache.enabled():
+        return None
+    return artifact_cache.artifact_key(
+        "jit", digest,
+        stage=getattr(program.checked, "stage", ""),
+        model=artifact_cache.model_tag(fmodel),
+        gather=gather_enabled(),
+        wide=wide,
+        fusion=getattr(program.checked, "fusion_signature", ""),
+    )
+
+
 def _jit_function(program, fmodel, wide: FrozenSet[str]):
     """Cached codegen: one compiled function per (program, wide set,
     gather flag).
@@ -95,7 +149,16 @@ def _jit_function(program, fmodel, wide: FrozenSet[str]):
     float-model) caching the launch path relies on.  Returns ``None``
     when the program is outside the JIT subset (negative result cached
     too, so unsupported shaders pay codegen only once).
+
+    Under the in-memory memo sits the persistent artifact store: on a
+    memory miss the generated source (or the ``unsupported`` verdict)
+    is loaded from disk when some earlier process already generated
+    it, and written there when codegen runs fresh.  The function's
+    disk key is kept on ``fn._jit_disk_key`` so the multiprocess
+    shading layer can ship a reference instead of the source text.
     """
+    from ...core import cache as artifact_cache
+
     cache = getattr(program, "_jit_cache", None)
     if cache is None:
         cache = program._jit_cache = {}
@@ -107,11 +170,53 @@ def _jit_function(program, fmodel, wide: FrozenSet[str]):
         rejected = program._jit_unsupported = {}
     if key in rejected:
         return None
+    disk_key = _disk_key(program, fmodel, wide)
+    if disk_key is not None:
+        payload = artifact_cache.get(disk_key)
+        if payload is not None:
+            entry = artifact_cache.load_jit_entry(payload)
+            fn = None
+            if entry is not None and "unsupported" in entry:
+                rejected[key] = entry["unsupported"]
+                codegen_events["disk"] += 1
+                return None
+            if entry is not None:
+                try:
+                    fn = materialize(
+                        entry["source"],
+                        artifact_cache.decode_captured(entry["captured"]),
+                        fmodel,
+                    )
+                except Exception:
+                    fn = None
+            if fn is not None:
+                fn._jit_disk_key = disk_key
+                codegen_events["disk"] += 1
+                cache[key] = fn
+                return fn
+            artifact_cache.invalidate(disk_key)
     try:
         fn = generate(program, fmodel, wide)
     except JitUnsupported as exc:
         rejected[key] = str(exc)
+        if disk_key is not None:
+            artifact_cache.put(
+                disk_key, artifact_cache.dump_jit_unsupported(str(exc)),
+                "jit",
+            )
         return None
+    fn._jit_disk_key = disk_key
+    if disk_key is not None:
+        codegen_events["fresh"] += 1
+        encoded = artifact_cache.encode_captured(fn._jit_captured)
+        if encoded is not None:
+            artifact_cache.put(
+                disk_key,
+                artifact_cache.dump_jit_entry(fn._jit_source, encoded),
+                "jit",
+            )
+    else:
+        codegen_events["uncached"] += 1
     cache[key] = fn
     return fn
 

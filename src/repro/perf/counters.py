@@ -20,6 +20,44 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 
+@dataclass
+class DiskCacheStats:
+    """Process-lifetime tallies of the on-disk compile-artifact cache
+    (:mod:`repro.core.cache`).
+
+    ``hits``/``misses`` count entry lookups; ``evictions`` counts
+    entries removed by the LRU size bound; ``corrupt`` counts entries
+    that failed validation (bad magic/header/checksum or an
+    undeserialisable payload) and were dropped — each corrupt entry
+    also registers as a miss, because the caller recompiles.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.corrupt = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+        }
+
+
+#: The process-global sink :mod:`repro.core.cache` reports into.  GL
+#: contexts mirror deltas of these into their own
+#: :class:`ContextStats` fields (see ``disk_cache_hits`` & friends).
+disk_cache_stats = DiskCacheStats()
+
+
 class OpCounters:
     """Counts of dynamic shader operations by category.
 
@@ -133,6 +171,18 @@ class ContextStats:
     scratch_allocs: int = 0
     scratch_reuses: int = 0
     elided_intermediate_bytes: int = 0
+    #: On-disk compile-artifact cache activity attributed to this
+    #: context (deltas of :data:`disk_cache_stats` folded in by the
+    #: context around compiles and draws).  ``disk_warm_compiles``
+    #: counts glCompileShader calls whose front-end artifact came from
+    #: the disk cache instead of a fresh parse/typecheck — the
+    #: wall-time model can price those at the warm compile cost
+    #: (see :class:`repro.perf.machines.GpuParameters`).
+    disk_cache_hits: int = 0
+    disk_cache_misses: int = 0
+    disk_cache_evictions: int = 0
+    disk_cache_corrupt: int = 0
+    disk_warm_compiles: int = 0
 
     def total_fragments(self) -> int:
         return sum(d.fragment_invocations for d in self.draws)
@@ -161,3 +211,8 @@ class ContextStats:
         self.scratch_allocs = 0
         self.scratch_reuses = 0
         self.elided_intermediate_bytes = 0
+        self.disk_cache_hits = 0
+        self.disk_cache_misses = 0
+        self.disk_cache_evictions = 0
+        self.disk_cache_corrupt = 0
+        self.disk_warm_compiles = 0

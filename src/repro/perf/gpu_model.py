@@ -70,8 +70,16 @@ class GpuModel:
         return total
 
     def compile_seconds(self, stats: ContextStats) -> float:
+        warm = min(
+            getattr(stats, "disk_warm_compiles", 0), stats.shader_compiles
+        )
+        cold = stats.shader_compiles - warm
+        warm_cost = self.params.warm_shader_compile_seconds
+        if warm_cost is None:
+            warm_cost = self.params.shader_compile_seconds
         return (
-            stats.shader_compiles * self.params.shader_compile_seconds
+            cold * self.params.shader_compile_seconds
+            + warm * warm_cost
             + stats.program_links * self.params.program_link_seconds
         )
 

@@ -51,6 +51,12 @@ class GpuParameters:
     #: wall times include kernel compilation.
     shader_compile_seconds: float = 1.0e-3
     program_link_seconds: float = 0.5e-3
+    #: Driver cost of a compilation served from a warm on-disk binary
+    #: cache (seconds).  ``None`` prices every compile at the cold
+    #: rate, which keeps the model deterministic regardless of cache
+    #: state; set it to model binary-program-cache warm starts
+    #: (cf. ARM_mali_cache_file / the GL OES_get_program_binary path).
+    warm_shader_compile_seconds: "float | None" = None
     #: Per-draw-call driver/setup overhead (seconds).
     draw_overhead_seconds: float = 150e-6
 

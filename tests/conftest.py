@@ -3,10 +3,19 @@
 from __future__ import annotations
 
 import os
+import tempfile
 
 import pytest
 
 from repro import GpgpuDevice
+
+# Keep test runs out of the user's real artifact store (~/.cache/repro):
+# unless the invoker pins REPRO_CACHE_DIR (the warm-CI leg does, to
+# share a store across two runs), each session writes to its own
+# throwaway directory.  Set at import time, before any test touches
+# repro.core.cache (which reads the environment lazily per lookup).
+if "REPRO_CACHE_DIR" not in os.environ and os.environ.get("REPRO_CACHE") != "0":
+    os.environ["REPRO_CACHE_DIR"] = tempfile.mkdtemp(prefix="repro-cache-")
 
 try:
     from hypothesis import settings
@@ -23,6 +32,31 @@ if settings is not None:
     )
     settings.register_profile("dev", max_examples=100, deadline=None)
     settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Warm-cache CI assertion: with REPRO_CACHE_EXPECT_WARM=1 the run
+    must have served every cacheable IR/JIT compile from the persistent
+    store — zero fresh compiles.  (Tests that deliberately cold-compile
+    point at their own private cache dirs and restore the counters, so
+    they don't trip this.)"""
+    if os.environ.get("REPRO_CACHE_EXPECT_WARM") != "1":
+        return
+    from repro.glsl import ir, jit
+
+    fresh = ir.compile_events["fresh"] + jit.codegen_events["fresh"]
+    if fresh:
+        session.exitstatus = 1
+        tr = session.config.pluginmanager.get_plugin("terminalreporter")
+        message = (
+            f"REPRO_CACHE_EXPECT_WARM=1 but {fresh} compile(s) ran "
+            f"fresh instead of loading from the artifact store "
+            f"(ir={ir.compile_events}, jit={jit.codegen_events})"
+        )
+        if tr is not None:
+            tr.write_line(message, red=True)
+        else:
+            print(message)
 
 
 @pytest.fixture
