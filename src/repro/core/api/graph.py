@@ -555,7 +555,16 @@ class LaunchGraph:
                 preamble=recipe.preamble,
                 extra_formats=recipe.extra_formats,
             )
-        except (ValueError, ShaderBuildError):
+        except (ValueError, ShaderBuildError) as exc:
+            # Composition or build failure (injected or organic):
+            # count the degraded path and replay the chain eagerly —
+            # fusion is an optimisation, the eager ladder is always
+            # semantically complete.
+            from ...perf.counters import fault_path_stats
+            from ...testing import faults
+
+            fault_path_stats.fault_fallbacks += 1
+            faults.note_swallowed("fuse_compose", exc)
             return False
         fused_inputs = {
             fname: self._materialise(chain[si].inputs[orig])

@@ -100,10 +100,11 @@ def cache_dir() -> Path:
 
 
 def max_bytes() -> int:
-    try:
-        return int(os.environ.get("REPRO_CACHE_MAX_BYTES", _DEFAULT_MAX_BYTES))
-    except ValueError:
-        return _DEFAULT_MAX_BYTES
+    from .knobs import int_knob
+
+    return int_knob(
+        "REPRO_CACHE_MAX_BYTES", _DEFAULT_MAX_BYTES, minimum=1
+    )
 
 
 def env_fingerprint() -> str:
@@ -209,6 +210,13 @@ def get(key: str) -> Optional[bytes]:
     except OSError:
         stats.misses += 1
         return None
+    from ..testing import faults
+
+    if faults.fire("cache_corrupt"):
+        # Simulated bit rot: hand the validator garbage bytes so the
+        # corrupt-entry path below (count, delete, recompile) runs
+        # against a real on-disk entry.
+        blob = blob[: len(_MAGIC)] + b"\x00" + blob[len(_MAGIC) + 1:]
     unpacked = _unpack(blob)
     if unpacked is None:
         stats.corrupt += 1
@@ -238,13 +246,18 @@ def contains(key: str) -> bool:
 
 def put(key: str, payload: bytes, kind: str) -> bool:
     """Publish one entry atomically (tmp file + rename); runs the LRU
-    trim afterwards.  Failures are silent — the cache never breaks a
-    compile."""
+    trim afterwards.  Failures never break a compile — they are
+    counted (``write_failures``), optionally logged
+    (``REPRO_DEBUG_FAULTS=1``), and the caller proceeds uncached."""
     if not enabled():
         return False
+    from ..testing import faults
+
     path = _entry_path(key)
     tmp = None
     try:
+        if faults.fire("cache_enospc"):
+            raise OSError(28, "injected fault: no space left on device")
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")
         with os.fdopen(fd, "wb") as handle:
@@ -253,7 +266,9 @@ def put(key: str, payload: bytes, kind: str) -> bool:
             os.fsync(handle.fileno())
         os.replace(tmp, path)
         tmp = None
-    except OSError:
+    except OSError as exc:
+        stats.write_failures += 1
+        faults.note_swallowed("cache_write", exc)
         if tmp is not None:
             try:
                 os.unlink(tmp)
@@ -340,13 +355,45 @@ def verify() -> Dict[str, int]:
     return {"kept": kept, "dropped": dropped}
 
 
+#: How old an unpublished ``.tmp-*`` file must be before the trim
+#: treats it as an orphan (a writer killed between mkstemp and
+#: os.replace).  One hour: comfortably past any legitimate in-flight
+#: publish, so a racing live writer is never swept.
+_ORPHAN_MAX_AGE_SECONDS = 3600.0
+
+
+def _sweep_orphans(root: Path) -> None:
+    """Remove stale mkstemp leftovers the atomic-publish protocol can
+    leak when a writer dies mid-publish.  Without this the LRU trim
+    never touches them (it only scans ``*.art``) and they accumulate
+    forever in the cache dir."""
+    import time
+
+    cutoff = time.time() - _ORPHAN_MAX_AGE_SECONDS
+    try:
+        candidates = list(root.glob("*/.tmp-*"))
+    except OSError:
+        return
+    for path in candidates:
+        try:
+            if path.stat().st_mtime < cutoff:
+                path.unlink()
+                stats.orphans_removed += 1
+        except OSError:
+            continue
+
+
 def _maybe_evict() -> None:
     """LRU size bound: trim oldest-access entries once the store
     overflows ``max_bytes()``.  The scan serialises on an advisory
     lock; a contended lock skips the trim (another process is already
-    doing it)."""
+    doing it, counted in ``lock_skips``).  Every run also sweeps
+    orphaned publish temp files (:func:`_sweep_orphans`)."""
     bound = max_bytes()
     root = cache_dir() / f"v{SCHEMA_VERSION}"
+    from ..testing import faults
+
+    _sweep_orphans(root)
     lock_handle = None
     try:
         entries = []
@@ -360,6 +407,9 @@ def _maybe_evict() -> None:
             total += meta.st_size
         if total <= bound:
             return
+        if faults.fire("cache_lock"):
+            stats.lock_skips += 1
+            return  # injected contention: someone else is trimming
         try:
             import fcntl
 
@@ -368,6 +418,7 @@ def _maybe_evict() -> None:
         except ImportError:
             lock_handle = None
         except OSError:
+            stats.lock_skips += 1
             if lock_handle is not None:
                 lock_handle.close()
             return  # someone else is trimming
@@ -451,8 +502,37 @@ def _dumps(obj) -> bytes:
     return buffer.getvalue()
 
 
+#: What deserialising a stale or hostile payload can legitimately
+#: raise: the pickle protocol's own errors (``UnpicklingError``,
+#: ``EOFError``, ``AttributeError``, ``ImportError``, ``IndexError``
+#: per the pickle docs), ``KeyError`` from
+#: :meth:`_ArtifactUnpickler.persistent_load` resolving a builtin key
+#: that no longer exists in the registry, and ``TypeError`` /
+#: ``ValueError`` / ``UnicodeDecodeError`` from malformed opcodes and
+#: reconstructed state.  Anything else (``KeyboardInterrupt``,
+#: ``MemoryError``, a genuine repro bug) propagates — a cache must
+#: degrade on bad *data*, not mask broken *code*.
+_DESERIALISE_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    TypeError,
+    ValueError,
+    UnicodeDecodeError,
+)
+
+
 def _loads(data: bytes):
     return _ArtifactUnpickler(io.BytesIO(data)).load()
+
+
+def _note_load_failure(kind: str, exc: BaseException) -> None:
+    from ..testing import faults
+
+    faults.note_swallowed(f"cache_load[{kind}]", exc)
 
 
 def dump_checked(checked) -> bytes:
@@ -460,12 +540,16 @@ def dump_checked(checked) -> bytes:
 
 
 def load_checked(data: bytes):
-    """Deserialise a front-end artifact; None on any failure."""
+    """Deserialise a front-end artifact; None on any data failure
+    (counted in ``load_failures``, logged under
+    ``REPRO_DEBUG_FAULTS=1``)."""
     from ..glsl.typecheck import CheckedShader
 
     try:
         checked = _loads(data)
-    except Exception:
+    except _DESERIALISE_ERRORS as exc:
+        stats.load_failures += 1
+        _note_load_failure("frontend", exc)
         return None
     return checked if isinstance(checked, CheckedShader) else None
 
@@ -481,7 +565,9 @@ def load_program(data: bytes, checked):
 
     try:
         program = _loads(data)
-    except Exception:
+    except _DESERIALISE_ERRORS as exc:
+        stats.load_failures += 1
+        _note_load_failure("ir", exc)
         return None
     if not isinstance(program, CompiledProgram):
         return None
@@ -532,10 +618,12 @@ def dump_jit_unsupported(reason: str) -> bytes:
 
 def load_jit_entry(data: bytes) -> Optional[Dict]:
     """Deserialise a JIT artifact — either ``{"source", "captured"}``
-    or ``{"unsupported": reason}``; None on any failure."""
+    or ``{"unsupported": reason}``; None on any data failure."""
     try:
         entry = _loads(data)
-    except Exception:
+    except _DESERIALISE_ERRORS as exc:
+        stats.load_failures += 1
+        _note_load_failure("jit", exc)
         return None
     if not isinstance(entry, dict):
         return None

@@ -301,7 +301,17 @@ _RECIPE_MEMO: Dict[str, FusedRecipe] = {}
 
 
 def compose_chain_cached(stages: Sequence[FusedStage]) -> FusedRecipe:
-    """Memoised :func:`compose_chain` (keyed on the chain signature)."""
+    """Memoised :func:`compose_chain` (keyed on the chain signature).
+
+    The graph scheduler's entry point, and therefore the
+    ``fuse_fail`` fault site: an injected failure raises the same
+    ``ValueError`` a real composition bug would, which the scheduler
+    answers by replaying the chain eagerly (bit-identical — fusion is
+    an optimisation, never a semantic requirement)."""
+    from ...testing import faults
+
+    if faults.fire("fuse_fail"):
+        raise ValueError("injected fault: fusion composition failed")
     signature = fusion_signature(stages)
     recipe = _RECIPE_MEMO.get(signature)
     if recipe is None:

@@ -79,12 +79,15 @@ class GLES2Context:
         # arguments left unset fall back to the environment
         # (REPRO_TILE_SIZE / REPRO_SHADE_WORKERS), so deployments can
         # turn on worker shading without touching call sites.
+        # Validated centrally (repro.core.knobs): a malformed or
+        # out-of-range knob falls back to its default with a single
+        # warning instead of raising ValueError mid-draw.
+        from ..core.knobs import int_knob
+
         if tile_size is None:
-            env_tile = os.environ.get("REPRO_TILE_SIZE", "")
-            tile_size = int(env_tile) if env_tile else None
+            tile_size = int_knob("REPRO_TILE_SIZE", None, minimum=1)
         if shade_workers is None:
-            env_workers = os.environ.get("REPRO_SHADE_WORKERS", "")
-            shade_workers = int(env_workers) if env_workers else 0
+            shade_workers = int_knob("REPRO_SHADE_WORKERS", 0, minimum=0)
         #: Fragment-tile edge in pixels (None = automatic policy, see
         #: pipeline.execute_draw).
         self.tile_size = tile_size
@@ -92,12 +95,13 @@ class GLES2Context:
         self.shade_workers = shade_workers
         self.error_state = ErrorState(strict=strict_errors)
         self.stats = ContextStats()
-        # Baseline snapshot of the process-wide disk-cache counters:
-        # per-context stats report the deltas accrued while this
-        # context was doing the compiling/drawing.
-        from ..perf.counters import disk_cache_stats
+        # Baseline snapshots of the process-wide disk-cache and
+        # fault-path counters: per-context stats report the deltas
+        # accrued while this context was doing the compiling/drawing.
+        from ..perf.counters import disk_cache_stats, fault_path_stats
 
         self._disk_stats_last = disk_cache_stats.snapshot()
+        self._fault_stats_last = fault_path_stats.snapshot()
 
         self._default_framebuffer = DefaultFramebuffer(width, height)
         self._textures: Dict[int, Texture] = {}
@@ -1094,11 +1098,12 @@ class GLES2Context:
         self._sync_disk_cache_stats()
 
     def _sync_disk_cache_stats(self) -> None:
-        """Accumulate process-wide artifact-store counter deltas since
-        the last sync into this context's stats.  Keeps per-context
-        numbers meaningful when several contexts (or none — e.g. the
-        maintenance CLI) touch the shared store in one process."""
-        from ..perf.counters import disk_cache_stats
+        """Accumulate process-wide artifact-store and fault-path
+        counter deltas since the last sync into this context's stats.
+        Keeps per-context numbers meaningful when several contexts (or
+        none — e.g. the maintenance CLI) touch the shared store in one
+        process."""
+        from ..perf.counters import disk_cache_stats, fault_path_stats
 
         current = disk_cache_stats.snapshot()
         last = self._disk_stats_last
@@ -1112,7 +1117,26 @@ class GLES2Context:
         self.stats.disk_cache_corrupt += (
             current["corrupt"] - last["corrupt"]
         )
+        self.stats.cache_write_failures += (
+            current["write_failures"] - last["write_failures"]
+        )
+        self.stats.cache_orphans_removed += (
+            current["orphans_removed"] - last["orphans_removed"]
+        )
         self._disk_stats_last = current
+
+        fcurrent = fault_path_stats.snapshot()
+        flast = self._fault_stats_last
+        self.stats.worker_retries += (
+            fcurrent["worker_retries"] - flast["worker_retries"]
+        )
+        self.stats.pool_restarts += (
+            fcurrent["pool_restarts"] - flast["pool_restarts"]
+        )
+        self.stats.fault_fallbacks += (
+            fcurrent["fault_fallbacks"] - flast["fault_fallbacks"]
+        )
+        self._fault_stats_last = fcurrent
 
 
 def _gl_type_of(gtype) -> int:

@@ -38,16 +38,48 @@ as a monolithic ``JitExecutor.execute`` would (dynamic global-init
 tally plus the static per-invocation projection), but only after the
 workers succeed; a failed dispatch leaves the counters untouched so
 the in-process fallback can do its own accounting.
+
+Failure policy (the paper's platform assumes flaky infrastructure, so
+every pool failure mode has a typed, counted, bounded response — see
+``docs/architecture.md`` §8):
+
+* **Typed detection.**  Dispatch distinguishes shader semantics
+  (:class:`~repro.glsl.errors.GlslLimitError` propagates), healthy-pool
+  races (:class:`PlanCacheMiss` → immediate in-process fallback),
+  malformed worker results (:class:`ChunkFormatError`), pool-transport
+  death (``BrokenExecutor``/``OSError``/``EOFError``/pickling
+  failures), and per-draw timeouts (``REPRO_POOL_TIMEOUT`` seconds per
+  draw, 0 disables).  Nothing is caught bare.
+* **Bounded retry.**  A transport death or timeout tears the pool down
+  and rebuilds it (``pool_restarts``); the draw is re-dispatched at
+  most once (``worker_retries``).  A draw that exhausts its attempts
+  falls back to in-process tiled shading (``fault_fallbacks``) with
+  untouched counters — bit-identical by construction.
+* **Circuit breaker.**  ``_MAX_CONSECUTIVE_FAILURES`` failed draws in
+  a row mark the pool broken for the process (every later draw shades
+  in-process without paying restart latency); any successful dispatch
+  resets the streak.
+
+The counters live in :data:`repro.perf.counters.fault_path_stats` and
+are folded per-context like the disk-cache tallies.  Deterministic
+fault injection for every one of these paths is provided by
+:mod:`repro.testing.faults` (``worker_crash`` / ``worker_hang`` /
+``worker_garble`` sites; the leader ships the active plan inside each
+worker payload so overrides reach forked workers).
 """
 
 from __future__ import annotations
 
 import hashlib
+import pickle
+import time
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..perf.counters import OpCounters
+from ..perf.counters import OpCounters, fault_path_stats
 
 #: Draws actually shaded out-of-process (observability for tests and
 #: benchmarks — asserting the pool was exercised, not silently skipped).
@@ -65,6 +97,24 @@ worker_disk_loads = 0
 _POOL = None
 _POOL_WORKERS = 0
 _POOL_BROKEN = False
+#: Draw-level pool failures since the last successful dispatch; at
+#: ``_MAX_CONSECUTIVE_FAILURES`` the pool is marked broken for the
+#: process (circuit breaker — see the module docstring).
+_CONSECUTIVE_FAILURES = 0
+_MAX_CONSECUTIVE_FAILURES = 5
+#: Dispatch attempts per draw (initial + retries over a rebuilt pool).
+_MAX_ATTEMPTS = 2
+#: Default per-draw pool timeout in seconds (``REPRO_POOL_TIMEOUT``;
+#: 0 disables).  Generous: a healthy worker chunk runs in milliseconds
+#: to seconds, so the timeout only trips on genuinely wedged workers.
+_DEFAULT_POOL_TIMEOUT = 300.0
+
+#: What a dying pool can legitimately raise at submit or result time:
+#: executor death (``BrokenExecutor`` covers ``BrokenProcessPool``),
+#: transport failure to/from the worker (``OSError``/``EOFError``),
+#: and payloads that fail to pickle.  Anything else is a repro bug and
+#: propagates.
+_POOL_ERRORS = (BrokenExecutor, OSError, EOFError, pickle.PicklingError)
 
 
 class PlanCacheMiss(Exception):
@@ -73,26 +123,37 @@ class PlanCacheMiss(Exception):
     the pool itself is healthy."""
 
 
+class ChunkFormatError(Exception):
+    """A worker returned a structurally invalid chunk result (wrong
+    tuple arity, non-broadcastable colour array, bogus discard mask).
+    The draw is retried once, then falls back in-process — garbage
+    never reaches the framebuffer."""
+
+
 def reset_stats() -> None:
     global parallel_draws, plan_cache_refs, worker_disk_loads
+    global _CONSECUTIVE_FAILURES
     parallel_draws = 0
     plan_cache_refs = 0
     worker_disk_loads = 0
+    _CONSECUTIVE_FAILURES = 0
 
 
 def shutdown_pool() -> None:
     """Tear down the worker pool (test isolation / interpreter exit)."""
-    global _POOL, _POOL_WORKERS, _POOL_BROKEN
+    global _POOL, _POOL_WORKERS, _POOL_BROKEN, _CONSECUTIVE_FAILURES
     if _POOL is not None:
         _POOL.shutdown(wait=True, cancel_futures=True)
     _POOL = None
     _POOL_WORKERS = 0
     _POOL_BROKEN = False
+    _CONSECUTIVE_FAILURES = 0
 
 
 def _get_pool(workers: int):
     """The shared pool, (re)created on first use or worker-count change.
-    Returns None when process pools are unavailable on this platform."""
+    Returns None when process pools are unavailable on this platform
+    or the circuit breaker has tripped."""
     global _POOL, _POOL_WORKERS, _POOL_BROKEN
     if workers <= 0 or _POOL_BROKEN:
         return None
@@ -111,20 +172,42 @@ def _get_pool(workers: int):
             ctx = multiprocessing.get_context("spawn")
         _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
         _POOL_WORKERS = workers
-    except Exception:
+    except (ImportError, OSError, ValueError, RuntimeError) as exc:
+        # Platform without usable process pools (no multiprocessing
+        # primitives, fork refused, sandboxed).  Permanent for the
+        # process: retrying pool *creation* cannot succeed later.
+        from ..testing import faults
+
+        faults.note_swallowed("pool_create", exc)
         _POOL_BROKEN = True
         _POOL = None
         return None
     return _POOL
 
 
-def _mark_broken() -> None:
-    global _POOL, _POOL_WORKERS, _POOL_BROKEN
+def _restart_pool() -> None:
+    """Tear the pool down after a transport failure so the next
+    ``_get_pool`` builds a fresh one (counted by the caller in
+    ``fault_path_stats.pool_restarts``).  Unlike pool-creation
+    failure, this is *not* permanent — a crashed worker says nothing
+    about the next pool."""
+    global _POOL, _POOL_WORKERS
     if _POOL is not None:
         _POOL.shutdown(wait=False, cancel_futures=True)
     _POOL = None
     _POOL_WORKERS = 0
-    _POOL_BROKEN = True
+
+
+def _note_draw_outcome(success: bool) -> None:
+    """Feed the circuit breaker: repeated draw-level failures mark the
+    pool broken for the process; one success resets the streak."""
+    global _CONSECUTIVE_FAILURES, _POOL_BROKEN
+    if success:
+        _CONSECUTIVE_FAILURES = 0
+        return
+    _CONSECUTIVE_FAILURES += 1
+    if _CONSECUTIVE_FAILURES >= _MAX_CONSECUTIVE_FAILURES:
+        _POOL_BROKEN = True
 
 
 # ----------------------------------------------------------------------
@@ -287,6 +370,13 @@ def shade_draw(
     else:
         plan_payload["source"] = fn._jit_source
         plan_payload["captured"] = captured
+    # Ship the active fault-injection plan (if any) with the payload:
+    # forked workers inherited the environment of pool-creation time,
+    # so the leader's *current* view — including test-scoped overrides
+    # and suppression — must travel by value.
+    from ..testing import faults
+
+    plan_payload["faults"] = faults.encode_active()
     # One job of contiguous tiles per worker, the tiles *merged* into a
     # single fragment batch (see module docstring): ships the plan (and
     # its textures) workers times per draw, and pays the generated
@@ -298,38 +388,66 @@ def shade_draw(
         for lo, hi in zip(bounds[:-1], bounds[1:])
         if lo != hi
     ]
-    futures = []
-    try:
-        for idx in chunk_indices:
-            job = {reg: data[idx] for reg, data in wide_regs.items()}
-            futures.append(pool.submit(
-                _shade_chunk, plan_payload, job, idx.shape[0]
-            ))
-        results: List[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]] = []
-        gathers = fallbacks = 0
-        disk_loads = 0
-        for idx, future in zip(chunk_indices, futures):
-            color, discarded, (chunk_gathers, chunk_fallbacks), from_disk = \
-                future.result()
-            gathers += chunk_gathers
-            fallbacks += chunk_fallbacks
-            disk_loads += from_disk
-            results.append((idx, color, discarded))
-    except GlslLimitError:
-        # Shader semantics, not infrastructure: surface it like the
-        # in-process executors do (the pool itself is still healthy,
-        # but the counters charged below never happen — matching a
-        # monolithic run, which raises before its static accounting).
-        raise
-    except PlanCacheMiss:
-        # The shared entry vanished between the leader's existence
-        # check and the worker's load (eviction/clear race).  The pool
-        # is healthy; shade this draw in-process and let the next draw
-        # re-ship (the leader will republish or fall back to source).
+    from ..core.knobs import float_knob
+
+    timeout = float_knob(
+        "REPRO_POOL_TIMEOUT", _DEFAULT_POOL_TIMEOUT, minimum=0.0
+    )
+    dispatched = None
+    for attempt in range(_MAX_ATTEMPTS):
+        if attempt:
+            fault_path_stats.worker_retries += 1
+            pool = _get_pool(workers)
+            if pool is None:
+                break
+        try:
+            dispatched = _dispatch_chunks(
+                pool, plan_payload, wide_regs, chunk_indices, timeout,
+                out_name,
+            )
+            break
+        except GlslLimitError:
+            # Shader semantics, not infrastructure: surface it like the
+            # in-process executors do (the pool itself is still
+            # healthy, but the counters charged below never happen —
+            # matching a monolithic run, which raises before its
+            # static accounting).
+            raise
+        except PlanCacheMiss:
+            # The shared entry vanished between the leader's existence
+            # check and the worker's load (eviction/clear race), or
+            # the plan would not materialise worker-side.  The pool is
+            # healthy; shade this draw in-process and let the next
+            # draw re-ship (the leader will republish or fall back to
+            # source).
+            return None
+        except (NameError, UnboundLocalError):
+            # The generated function hit an unbound cross-region
+            # CSE'd local on this draw's control-flow shape — the same
+            # condition JitExecutor.execute handles in-process.  The
+            # pool is healthy; this draw just needs the IR executor.
+            fault_path_stats.fault_fallbacks += 1
+            return None
+        except ChunkFormatError as exc:
+            # Garbage result from one worker.  The pool transport is
+            # intact, so retry on the same pool; a second helping of
+            # garbage falls through to the in-process path.
+            faults.note_swallowed("pool_dispatch", exc)
+        except (_FuturesTimeout, *_POOL_ERRORS) as exc:
+            # Worker death, wedged worker past the per-draw deadline,
+            # or broken transport: this pool is unusable.  Tear it
+            # down and retry once on a fresh one.
+            faults.note_swallowed("pool_dispatch", exc)
+            _restart_pool()
+            fault_path_stats.pool_restarts += 1
+    if dispatched is None:
+        # Retry budget exhausted (or the pool could not be rebuilt):
+        # degrade to in-process tiled shading with untouched counters.
+        fault_path_stats.fault_fallbacks += 1
+        _note_draw_outcome(success=False)
         return None
-    except Exception:
-        _mark_broken()
-        return None
+    _note_draw_outcome(success=True)
+    results, gathers, fallbacks, disk_loads = dispatched
 
     if saved_counters is not None:
         saved_counters.merge(scratch)
@@ -346,6 +464,92 @@ def shade_draw(
     global worker_disk_loads
     worker_disk_loads += disk_loads
     return results
+
+
+def _dispatch_chunks(
+    pool, plan_payload, wide_regs, chunk_indices, timeout, out_name
+):
+    """Submit every chunk and gather validated results.
+
+    Returns ``(results, gathers, fallbacks, disk_loads)``; raises the
+    typed failure taxonomy the caller's retry loop dispatches on.  The
+    per-draw timeout is a shared deadline across the chunk futures —
+    the draw as a whole gets ``timeout`` seconds, not each chunk.
+    """
+    futures = []
+    for idx in chunk_indices:
+        job = {reg: data[idx] for reg, data in wide_regs.items()}
+        futures.append(pool.submit(
+            _shade_chunk, plan_payload, job, idx.shape[0]
+        ))
+    deadline = (time.monotonic() + timeout) if timeout else None
+    results: List[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]] = []
+    gathers = fallbacks = 0
+    disk_loads = 0
+    try:
+        for idx, future in zip(chunk_indices, futures):
+            if deadline is None:
+                raw = future.result()
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise _FuturesTimeout(
+                        "per-draw pool timeout exhausted"
+                    )
+                raw = future.result(timeout=remaining)
+            color, discarded, delta, from_disk = _validate_chunk(
+                raw, idx.shape[0], out_name
+            )
+            gathers += delta[0]
+            fallbacks += delta[1]
+            disk_loads += from_disk
+            results.append((idx, color, discarded))
+    finally:
+        # Whatever the outcome, never leave stragglers queued: a
+        # failed draw's pending chunks would otherwise burn workers
+        # shading a framebuffer nobody will assemble.
+        for future in futures:
+            future.cancel()
+    return results, gathers, fallbacks, disk_loads
+
+
+def _validate_chunk(raw, count: int, out_name: str):
+    """Structural validation of one worker result — the leader's
+    defence against a sick worker returning garbage.  Raises
+    :class:`ChunkFormatError`; returns the normalised tuple."""
+    try:
+        color, discarded, (chunk_gathers, chunk_fallbacks), from_disk = raw
+    except (TypeError, ValueError) as exc:
+        raise ChunkFormatError(f"malformed chunk tuple: {exc}") from None
+    if not isinstance(color, np.ndarray) or not np.issubdtype(
+        color.dtype, np.floating
+    ):
+        raise ChunkFormatError(
+            f"chunk colour is {type(color).__name__}, not a float array"
+        )
+    target = (count, 1, 4) if out_name == "gl_FragData" else (count, 4)
+    try:
+        np.broadcast_to(color, target)
+    except ValueError:
+        raise ChunkFormatError(
+            f"chunk colour shape {color.shape} does not broadcast "
+            f"to {target}"
+        ) from None
+    if discarded is not None:
+        if (
+            not isinstance(discarded, np.ndarray)
+            or discarded.dtype != np.bool_
+            or discarded.ndim != 1
+            or discarded.shape[0] not in (1, count)
+        ):
+            raise ChunkFormatError("chunk discard mask is malformed")
+    try:
+        chunk_gathers = int(chunk_gathers)
+        chunk_fallbacks = int(chunk_fallbacks)
+        from_disk = int(from_disk)
+    except (TypeError, ValueError) as exc:
+        raise ChunkFormatError(f"malformed chunk counters: {exc}") from None
+    return color, discarded, (chunk_gathers, chunk_fallbacks), from_disk
 
 
 # ----------------------------------------------------------------------
@@ -373,36 +577,47 @@ def _materialize(plan) -> Tuple[object, int]:
     if fn is not None:
         return fn, 0
     from_disk = 0
-    if "source" in plan:
-        from ..glsl.builtins import OVERLOADS_BY_KEY
-        from ..glsl.jit.codegen import make_helpers
+    # Any failure to turn the plan into a callable — a stale builtin
+    # key, a source that no longer execs against this worker's helper
+    # registry — is reported as the typed PlanCacheMiss so the leader
+    # shades the draw in-process instead of seeing an arbitrary
+    # exception cross the pool boundary.
+    try:
+        if "source" in plan:
+            from ..glsl.builtins import OVERLOADS_BY_KEY
+            from ..glsl.jit.codegen import make_helpers
 
-        ns = make_helpers(plan["fmodel"])
-        for name, (kind, payload) in plan["captured"].items():
-            ns[name] = (
-                payload if kind == "array"
-                else OVERLOADS_BY_KEY[payload].impl
+            ns = make_helpers(plan["fmodel"])
+            for name, (kind, payload) in plan["captured"].items():
+                ns[name] = (
+                    payload if kind == "array"
+                    else OVERLOADS_BY_KEY[payload].impl
+                )
+            exec(compile(plan["source"], "<jit:worker>", "exec"), ns)
+            fn = ns["_jit_main"]
+        else:
+            # Key-only plan: the generated source lives in the shared
+            # artifact store; load it by digest instead of receiving
+            # it through the pickle stream.
+            from ..core import cache as artifact_cache
+            from ..glsl import jit as jit_mod
+
+            payload = artifact_cache.get(plan["cache_key"])
+            entry = (artifact_cache.load_jit_entry(payload)
+                     if payload is not None else None)
+            if entry is None or "unsupported" in entry:
+                raise PlanCacheMiss(plan["cache_key"])
+            fn = jit_mod.materialize(
+                entry["source"],
+                artifact_cache.decode_captured(entry["captured"]),
+                plan["fmodel"],
             )
-        exec(compile(plan["source"], "<jit:worker>", "exec"), ns)
-        fn = ns["_jit_main"]
-    else:
-        # Key-only plan: the generated source lives in the shared
-        # artifact store; load it by digest instead of receiving it
-        # through the pickle stream.
-        from ..core import cache as artifact_cache
-        from ..glsl import jit as jit_mod
-
-        payload = artifact_cache.get(plan["cache_key"])
-        entry = (artifact_cache.load_jit_entry(payload)
-                 if payload is not None else None)
-        if entry is None or "unsupported" in entry:
-            raise PlanCacheMiss(plan["cache_key"])
-        fn = jit_mod.materialize(
-            entry["source"],
-            artifact_cache.decode_captured(entry["captured"]),
-            plan["fmodel"],
-        )
-        from_disk = 1
+            from_disk = 1
+    except PlanCacheMiss:
+        raise
+    except (SyntaxError, KeyError, NameError, TypeError, ValueError,
+            AttributeError) as exc:
+        raise PlanCacheMiss(f"plan not materialisable: {exc!r}")
     _WORKER_FNS[plan["uid"]] = fn
     return fn, from_disk
 
@@ -412,7 +627,24 @@ def _shade_chunk(plan, wide_regs, count):
     returns ``(color_data, discarded, (gathers, fallbacks),
     from_disk)`` — the gather element is the chunk's texture-gather
     delta and ``from_disk`` flags a plan materialised from the shared
-    disk cache (the leader folds both back into its counters)."""
+    disk cache (the leader folds both back into its counters).
+
+    Fault-injection hooks run first, under the leader-shipped plan:
+    ``worker_crash`` hard-kills this process (``os._exit``, so the
+    leader sees ``BrokenProcessPool`` exactly as a segfaulting driver
+    would present), ``worker_hang`` sleeps past the leader's per-draw
+    deadline, and ``worker_garble`` swaps the colour result for
+    garbage to exercise the leader's chunk validation."""
+    from ..testing import faults
+
+    faults.install_encoded(plan.get("faults"))
+    if faults.fire("worker_crash"):
+        import os as _os
+
+        _os._exit(3)
+    if faults.fire("worker_hang"):
+        time.sleep(faults.hang_seconds())
+    garble = faults.fire("worker_garble")
     fn, from_disk = _materialize(plan)
     regs: List[Optional[_Reg]] = [None] * plan["nregs"]
     for reg, (kind, payload) in plan["base"].items():
@@ -427,4 +659,6 @@ def _shade_chunk(plan, wide_regs, count):
     discarded = fn(regs, count, plan["maxit"])
     delta = ((gst[0] - before[0], gst[1] - before[1])
              if gst is not None else (0, 0))
+    if garble:
+        return np.full(3, np.nan), discarded, delta, from_disk
     return regs[plan["out_reg"]].data, discarded, delta, from_disk

@@ -158,6 +158,17 @@ def _jit_function(program, fmodel, wide: FrozenSet[str]):
     shading layer can ship a reference instead of the source text.
     """
     from ...core import cache as artifact_cache
+    from ...testing import faults
+
+    if faults.fire("jit_error"):
+        # Injected codegen failure: this *draw* degrades to the IR
+        # executor (bit-identical by the backend contract) without
+        # poisoning the in-memory memo or the persistent store — the
+        # next draw may JIT normally.
+        from ...perf.counters import fault_path_stats
+
+        fault_path_stats.fault_fallbacks += 1
+        return None
 
     cache = getattr(program, "_jit_cache", None)
     if cache is None:
@@ -187,7 +198,14 @@ def _jit_function(program, fmodel, wide: FrozenSet[str]):
                         artifact_cache.decode_captured(entry["captured"]),
                         fmodel,
                     )
-                except Exception:
+                except (SyntaxError, KeyError, NameError, TypeError,
+                        ValueError, AttributeError) as exc:
+                    # A stale artifact whose source no longer compiles
+                    # or whose captured namespace no longer resolves:
+                    # treat as corrupt data (invalidated below), never
+                    # as a fatal error — the healthy path regenerates.
+                    artifact_cache.stats.load_failures += 1
+                    faults.note_swallowed("jit_materialize", exc)
                     fn = None
             if fn is not None:
                 fn._jit_disk_key = disk_key

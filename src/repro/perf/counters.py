@@ -30,18 +30,36 @@ class DiskCacheStats:
     that failed validation (bad magic/header/checksum or an
     undeserialisable payload) and were dropped — each corrupt entry
     also registers as a miss, because the caller recompiles.
+
+    The failure-path tallies: ``write_failures`` counts publishes that
+    failed (``ENOSPC``, permissions, a vanished directory — the
+    compile proceeds uncached), ``orphans_removed`` counts stale
+    ``.tmp-*`` files left by writers killed mid-publish and swept by
+    the LRU trim, ``load_failures`` counts payloads whose envelope
+    checksum passed but whose deserialisation raised (also counted
+    under ``corrupt`` when the entry is invalidated), and
+    ``lock_skips`` counts trims abandoned because another process held
+    the eviction lock.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     corrupt: int = 0
+    write_failures: int = 0
+    orphans_removed: int = 0
+    load_failures: int = 0
+    lock_skips: int = 0
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.corrupt = 0
+        self.write_failures = 0
+        self.orphans_removed = 0
+        self.load_failures = 0
+        self.lock_skips = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -49,6 +67,10 @@ class DiskCacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "corrupt": self.corrupt,
+            "write_failures": self.write_failures,
+            "orphans_removed": self.orphans_removed,
+            "load_failures": self.load_failures,
+            "lock_skips": self.lock_skips,
         }
 
 
@@ -56,6 +78,48 @@ class DiskCacheStats:
 #: contexts mirror deltas of these into their own
 #: :class:`ContextStats` fields (see ``disk_cache_hits`` & friends).
 disk_cache_stats = DiskCacheStats()
+
+
+@dataclass
+class FaultPathStats:
+    """Process-lifetime tallies of the runtime's degraded paths — how
+    often a fallback actually ran, injected or organic.
+
+    ``worker_retries`` counts pool draw dispatches re-attempted after
+    a recoverable pool failure (broken pool, timeout, malformed chunk
+    result); ``pool_restarts`` counts worker pools torn down and
+    rebuilt after such a failure; ``fault_fallbacks`` counts
+    degraded-path activations — a pool draw abandoned to in-process
+    shading after its retry budget, a fused chain replayed eagerly
+    because composition/build raised, a JIT compile failure falling
+    back to the IR executor.  Every one of these paths is
+    bit-identical to the healthy one by construction (asserted in
+    ``tests/test_faults.py``); the counters exist so degradation is
+    *visible*, never silent.
+    """
+
+    worker_retries: int = 0
+    pool_restarts: int = 0
+    fault_fallbacks: int = 0
+
+    def reset(self) -> None:
+        self.worker_retries = 0
+        self.pool_restarts = 0
+        self.fault_fallbacks = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "worker_retries": self.worker_retries,
+            "pool_restarts": self.pool_restarts,
+            "fault_fallbacks": self.fault_fallbacks,
+        }
+
+
+#: The process-global sink the hardened fallback paths report into
+#: (:mod:`repro.gles2.parallel`, :mod:`repro.core.api.graph`,
+#: :mod:`repro.glsl.jit`).  GL contexts mirror deltas into
+#: :class:`ContextStats` like the disk-cache tallies.
+fault_path_stats = FaultPathStats()
 
 
 class OpCounters:
@@ -183,6 +247,20 @@ class ContextStats:
     disk_cache_evictions: int = 0
     disk_cache_corrupt: int = 0
     disk_warm_compiles: int = 0
+    #: Failure-path activity attributed to this context (deltas of
+    #: :data:`fault_path_stats` and the disk store's failure tallies,
+    #: folded in alongside the disk-cache counters).  Non-zero values
+    #: mean a degraded-but-bit-identical path ran: a pool dispatch was
+    #: retried (``worker_retries``) over a rebuilt pool
+    #: (``pool_restarts``), a draw/fusion/JIT fell back to its slower
+    #: twin (``fault_fallbacks``), a cache publish failed
+    #: (``cache_write_failures``), or the trim swept stale temp files
+    #: (``cache_orphans_removed``).
+    worker_retries: int = 0
+    pool_restarts: int = 0
+    fault_fallbacks: int = 0
+    cache_write_failures: int = 0
+    cache_orphans_removed: int = 0
 
     def total_fragments(self) -> int:
         return sum(d.fragment_invocations for d in self.draws)
@@ -216,3 +294,8 @@ class ContextStats:
         self.disk_cache_evictions = 0
         self.disk_cache_corrupt = 0
         self.disk_warm_compiles = 0
+        self.worker_retries = 0
+        self.pool_restarts = 0
+        self.fault_fallbacks = 0
+        self.cache_write_failures = 0
+        self.cache_orphans_removed = 0

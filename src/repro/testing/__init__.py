@@ -15,16 +15,10 @@ The correctness net behind every refactor of ``repro.glsl`` /
   (``python -m repro.testing.fuzz --n 500 --seed 0``).
 * :mod:`repro.testing.corpus` — golden corpus management for
   ``tests/corpus/*.glsl`` + expected framebuffers.
+* :mod:`repro.testing.faults` — deterministic fault injection
+  (``REPRO_FAULTS`` / :func:`~repro.testing.faults.inject_faults`)
+  for the runtime's degraded paths.
 """
-
-from .generator import GeneratorConfig, generate_program
-from .oracle import (
-    DifferentialResult,
-    inject_eq2_off_by_one,
-    reference_quantize,
-    run_differential,
-)
-from .shrink import shrink_source
 
 __all__ = [
     "GeneratorConfig",
@@ -36,15 +30,36 @@ __all__ = [
     "shrink_source",
     "CorpusEntry",
     "build_entries",
+    "inject_faults",
 ]
+
+#: Public name -> defining submodule, resolved lazily.  Lazy for two
+#: reasons: importing .corpus eagerly would make ``python -m
+#: repro.testing.corpus`` warn about the module already being in
+#: sys.modules before runpy executes it, and the *runtime* modules
+#: (core.cache, gles2.parallel, glsl.jit) import
+#: ``repro.testing.faults`` — a stdlib-only leaf — which must not drag
+#: the whole fuzzing harness into every cold start and pool worker.
+_LAZY = {
+    "GeneratorConfig": "generator",
+    "generate_program": "generator",
+    "DifferentialResult": "oracle",
+    "run_differential": "oracle",
+    "reference_quantize": "oracle",
+    "inject_eq2_off_by_one": "oracle",
+    "shrink_source": "shrink",
+    "CorpusEntry": "corpus",
+    "build_entries": "corpus",
+    "inject_faults": "faults",
+}
 
 
 def __getattr__(name):
-    # Lazy: importing .corpus here eagerly would make
-    # ``python -m repro.testing.corpus`` warn about the module already
-    # being in sys.modules before runpy executes it.
-    if name in ("CorpusEntry", "build_entries"):
-        from . import corpus
+    modname = _LAZY.get(name)
+    if modname is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
 
-        return getattr(corpus, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(f".{modname}", __name__), name)

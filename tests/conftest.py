@@ -34,29 +34,75 @@ if settings is not None:
     settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
-def pytest_sessionfinish(session, exitstatus):
-    """Warm-cache CI assertion: with REPRO_CACHE_EXPECT_WARM=1 the run
-    must have served every cacheable IR/JIT compile from the persistent
-    store — zero fresh compiles.  (Tests that deliberately cold-compile
-    point at their own private cache dirs and restore the counters, so
-    they don't trip this.)"""
-    if os.environ.get("REPRO_CACHE_EXPECT_WARM") != "1":
-        return
-    from repro.glsl import ir, jit
+def _fail_session(session, message):
+    session.exitstatus = 1
+    tr = session.config.pluginmanager.get_plugin("terminalreporter")
+    if tr is not None:
+        tr.write_line(message, red=True)
+    else:
+        print(message)
 
-    fresh = ir.compile_events["fresh"] + jit.codegen_events["fresh"]
-    if fresh:
-        session.exitstatus = 1
-        tr = session.config.pluginmanager.get_plugin("terminalreporter")
-        message = (
-            f"REPRO_CACHE_EXPECT_WARM=1 but {fresh} compile(s) ran "
-            f"fresh instead of loading from the artifact store "
-            f"(ir={ir.compile_events}, jit={jit.codegen_events})"
-        )
-        if tr is not None:
-            tr.write_line(message, red=True)
+
+def pytest_sessionfinish(session, exitstatus):
+    """End-of-run CI assertions.
+
+    With REPRO_CACHE_EXPECT_WARM=1 the run must have served every
+    cacheable IR/JIT compile from the persistent store — zero fresh
+    compiles.  (Tests that deliberately cold-compile point at their own
+    private cache dirs and restore the counters, so they don't trip
+    this.)
+
+    With REPRO_FAULTS_EXPECT_FIRED=1 (the fault-injection CI leg,
+    which also sets REPRO_FAULTS) the configured sites must actually
+    have misbehaved: passing because the injection never ran is not
+    passing.  Leader-evaluated sites are checked by their fire tally;
+    worker-evaluated sites fire inside pool processes, so their
+    evidence is the leader-side degraded-path counters
+    (:data:`repro.perf.counters.fault_path_stats`)."""
+    if os.environ.get("REPRO_CACHE_EXPECT_WARM") == "1":
+        from repro.glsl import ir, jit
+
+        fresh = ir.compile_events["fresh"] + jit.codegen_events["fresh"]
+        if fresh:
+            _fail_session(session, (
+                f"REPRO_CACHE_EXPECT_WARM=1 but {fresh} compile(s) ran "
+                f"fresh instead of loading from the artifact store "
+                f"(ir={ir.compile_events}, jit={jit.codegen_events})"
+            ))
+    if os.environ.get("REPRO_FAULTS_EXPECT_FIRED") == "1":
+        from repro.perf.counters import fault_path_stats
+        from repro.testing import faults
+
+        plan = faults.active_plan()
+        problems = []
+        if plan is None:
+            problems.append(
+                "REPRO_FAULTS_EXPECT_FIRED=1 but no fault plan is "
+                "active (is REPRO_FAULTS set and well-formed?)"
+            )
         else:
-            print(message)
+            # plan.fired counts this (memoised) environment plan's own
+            # fires, so a test-local inject_faults() plan can never
+            # satisfy the leg on the environment plan's behalf.
+            for site in sorted(set(plan.specs) - faults.WORKER_SITES):
+                if not plan.fired.get(site):
+                    problems.append(
+                        f"fault site '{site}' was configured but "
+                        f"never fired"
+                    )
+            if set(plan.specs) & faults.WORKER_SITES:
+                degraded = (
+                    fault_path_stats.worker_retries
+                    + fault_path_stats.pool_restarts
+                    + fault_path_stats.fault_fallbacks
+                )
+                if degraded == 0:
+                    problems.append(
+                        "worker fault sites were configured but no "
+                        "retry/restart/fallback was ever counted"
+                    )
+        for problem in problems:
+            _fail_session(session, problem)
 
 
 @pytest.fixture

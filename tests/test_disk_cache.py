@@ -26,6 +26,7 @@ import pytest
 from repro.core import cache as store
 from repro.glsl import ir as ir_mod
 from repro.glsl import jit as jit_mod
+from repro.testing import faults
 
 SRC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "src")
 
@@ -33,20 +34,23 @@ SRC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "src")
 @pytest.fixture(autouse=True)
 def _counter_guard(monkeypatch, tmp_path):
     """Private cache dir per test + restore the process-wide counters
-    this module deliberately perturbs."""
+    this module deliberately perturbs.  Fault injection is masked:
+    these tests pin exact healthy-path hit/miss accounting, which a
+    fault-injected CI run (REPRO_FAULTS=cache_corrupt:...) would
+    legitimately perturb."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     monkeypatch.delenv("REPRO_CACHE", raising=False)
     monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
     ir_before = dict(ir_mod.compile_events)
     jit_before = dict(jit_mod.codegen_events)
     disk_before = store.stats.snapshot()
-    yield
+    with faults.suppress():
+        yield
     ir_mod.compile_events.update(ir_before)
     jit_mod.codegen_events.update(jit_before)
-    store.stats.hits = disk_before["hits"]
-    store.stats.misses = disk_before["misses"]
-    store.stats.evictions = disk_before["evictions"]
-    store.stats.corrupt = disk_before["corrupt"]
+    for field, value in disk_before.items():
+        setattr(store.stats, field, value)
 
 
 # ----------------------------------------------------------------------
@@ -137,6 +141,8 @@ def test_cache_disabled_writes_nothing(tmp_path):
     assert result["entries"] == []
     assert result["disk"] == {
         "hits": 0, "misses": 0, "evictions": 0, "corrupt": 0,
+        "write_failures": 0, "orphans_removed": 0, "load_failures": 0,
+        "lock_skips": 0,
     }
     assert result["ir"]["uncached"] > 0
     assert result["ir"]["fresh"] == 0
