@@ -7,7 +7,14 @@ Figure 2 float layout, each output element is one fragment running an
 n-iteration dot-product loop, and the result is validated against the
 CPU reference with the paper's mantissa-agreement metric.
 
-Run:  python examples/sgemm_pipeline.py [n]
+Run:  python examples/sgemm_pipeline.py [n] [backend]
+
+``backend`` is ast (default), ir, or jit.  Combine with the usual
+knobs to exercise the full stack, e.g. a traced multiprocess run::
+
+    REPRO_TRACE=out.json REPRO_SHADE_WORKERS=2 \
+        python examples/sgemm_pipeline.py 128 jit
+    python -m repro.trace view out.json
 """
 
 import sys
@@ -21,12 +28,14 @@ from repro.kernels import make_sgemm_kernel
 from repro.validation import precision_report
 
 
-def main(n: int = 32):
+def main(n: int = 32, backend: str = "ast"):
     alpha, beta = 1.5, 0.5
     a, b, c0 = random_matrices(n, np.float32)
 
     # --- GPU ----------------------------------------------------------
-    device = GpgpuDevice(float_model="videocore")  # the real platform
+    device = GpgpuDevice(  # the real platform
+        float_model="videocore", execution_backend=backend
+    )
     kernel = make_sgemm_kernel(device, "float32", n)
     out = device.empty(n * n, "float32")
     kernel(
@@ -53,4 +62,7 @@ def main(n: int = 32):
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 32)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 32,
+        sys.argv[2] if len(sys.argv) > 2 else "ast",
+    )

@@ -156,6 +156,28 @@ class GpgpuDevice:
         self._active_graph = graph
         return graph
 
+    def trace(self, path: Optional[str] = None,
+              max_events: Optional[int] = None):
+        """Record a structured execution trace of everything this
+        process runs inside the block::
+
+            with device.trace("out.json"):
+                kernel(out, {"a": src})
+
+        Spans cover shader compiles, uploads, draw phases, worker-pool
+        dispatch, cache traffic and graph replays (see
+        :mod:`repro.perf.trace`).  On clean exit the Chrome
+        trace-event JSON is written to ``path`` — load it at
+        https://ui.perfetto.dev, or inspect it with
+        ``python -m repro.trace view``.  If a recorder is already
+        active (``REPRO_TRACE`` set, or an enclosing ``trace()``
+        block), the block joins it instead of starting a new one and
+        leaves ownership untouched.
+        """
+        from ...perf import trace as perf_trace
+
+        return perf_trace.session(path, max_events=max_events)
+
     # ------------------------------------------------------------------
     # Program building
     # ------------------------------------------------------------------

@@ -36,8 +36,10 @@ cheaper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+from ...perf import trace
 from ..codegen.fuse import (
     FusedStage,
     compose_chain_cached,
@@ -286,6 +288,12 @@ class LaunchGraph:
         allocs_before = ctx_stats.scratch_allocs
         reuses_before = ctx_stats.scratch_reuses
 
+        # Manual span (rather than ``with``) so the replay body keeps
+        # its indentation; the recorder check keeps the disabled path
+        # down to one attribute load.
+        recorder = trace.active()
+        span_t0 = perf_counter() if recorder is not None else 0.0
+
         stats = ReplayStats(recorded=len(self.nodes))
         live = self._eliminate_dead(stats)
         chains, fused_member = self._plan_chains(live)
@@ -302,14 +310,20 @@ class LaunchGraph:
                     stats.executed_draws += 1
                     stats.fused_draws += 1
                     stats.elided_draws += len(chain) - 1
+                    chain_bytes = 0
                     for node in chain[:-1]:
                         inter = node.out
                         # One texture write plus one re-read that
                         # never happened: the elided transfer.
-                        stats.elided_intermediate_bytes += (
+                        chain_bytes += (
                             inter.width * inter.height * 4 * 2
                         )
                         inter.recycled = True
+                    stats.elided_intermediate_bytes += chain_bytes
+                    trace.instant("graph.fuse", "graph", {
+                        "stages": len(chain),
+                        "elided_bytes": chain_bytes,
+                    })
                 else:
                     # Fused build/validation failed: run the chain on
                     # the eager path, then recycle its intermediates.
@@ -342,6 +356,21 @@ class LaunchGraph:
         ctx_stats.elided_intermediate_bytes += (
             stats.elided_intermediate_bytes
         )
+        if recorder is not None:
+            recorder.complete(
+                "graph.replay", "graph", span_t0, perf_counter(), {
+                    "recorded": stats.recorded,
+                    "executed_draws": stats.executed_draws,
+                    "fused_draws": stats.fused_draws,
+                    "elided_draws": stats.elided_draws,
+                    "dead_launches": stats.dead_launches,
+                    "scratch_allocs": stats.scratch_allocs,
+                    "scratch_reuses": stats.scratch_reuses,
+                    "elided_intermediate_bytes": (
+                        stats.elided_intermediate_bytes
+                    ),
+                },
+            )
         self.stats = stats
         return stats
 
@@ -565,6 +594,9 @@ class LaunchGraph:
 
             fault_path_stats.fault_fallbacks += 1
             faults.note_swallowed("fuse_compose", exc)
+            trace.instant("graph.fallback", "graph", {
+                "stages": len(chain), "reason": type(exc).__name__,
+            })
             return False
         fused_inputs = {
             fname: self._materialise(chain[si].inputs[orig])
@@ -578,6 +610,9 @@ class LaunchGraph:
         try:
             fused.validate_launch(out, fused_inputs, fused_uniforms)
         except GpgpuError:
+            trace.instant("graph.fallback", "graph", {
+                "stages": len(chain), "reason": "validate_launch",
+            })
             return False
         fused._execute(out, fused_inputs, fused_uniforms)
         return True

@@ -69,6 +69,7 @@ from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..perf import trace
 from ..perf.counters import disk_cache_stats
 
 #: Bump to invalidate every existing store (key *and* entry header).
@@ -209,6 +210,7 @@ def get(key: str) -> Optional[bytes]:
         blob = path.read_bytes()
     except OSError:
         stats.misses += 1
+        trace.instant("cache.miss", "cache", {"key": key[:16]})
         return None
     from ..testing import faults
 
@@ -221,12 +223,16 @@ def get(key: str) -> Optional[bytes]:
     if unpacked is None:
         stats.corrupt += 1
         stats.misses += 1
+        trace.instant("cache.corrupt", "cache", {"key": key[:16]})
         try:
             path.unlink()
         except OSError:
             pass
         return None
     stats.hits += 1
+    trace.instant("cache.hit", "cache", {
+        "key": key[:16], "kind": unpacked[0].get("kind", "unknown"),
+    })
     try:
         os.utime(path)
     except OSError:
@@ -266,6 +272,9 @@ def put(key: str, payload: bytes, kind: str) -> bool:
             os.fsync(handle.fileno())
         os.replace(tmp, path)
         tmp = None
+        trace.instant("cache.publish", "cache", {
+            "key": key[:16], "kind": kind, "bytes": len(payload),
+        })
     except OSError as exc:
         stats.write_failures += 1
         faults.note_swallowed("cache_write", exc)

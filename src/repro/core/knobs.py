@@ -16,6 +16,7 @@ warning is deduplicated process-wide.
 
 from __future__ import annotations
 
+import math
 import os
 import warnings
 from typing import Optional, Set, Tuple
@@ -82,8 +83,10 @@ def float_knob(
         value = float(raw)
     except ValueError:
         return _fallback(name, raw, "not a number", default)
-    if value != value:  # NaN never compares in range
-        return _fallback(name, raw, "not a number", default)
+    if not math.isfinite(value):
+        # NaN never compares in range, and ±inf sails over any maximum
+        # — a timeout of "inf" must not disable the deadline silently.
+        return _fallback(name, raw, "not finite", default)
     if minimum is not None and value < minimum:
         return _fallback(name, raw, f"below minimum {minimum}", default)
     if maximum is not None and value > maximum:

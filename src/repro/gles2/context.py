@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..perf import trace
 from ..perf.counters import ContextStats
 from . import enums
 from .buffer_objects import BufferObject
@@ -102,6 +103,13 @@ class GLES2Context:
 
         self._disk_stats_last = disk_cache_stats.snapshot()
         self._fault_stats_last = fault_path_stats.snapshot()
+        trace.instant("device.context", "device", {
+            "float_model": getattr(float_model, "name",
+                                   type(float_model).__name__),
+            "backend": execution_backend,
+            "tile_size": tile_size,
+            "shade_workers": shade_workers,
+        })
 
         self._default_framebuffer = DefaultFramebuffer(width, height)
         self._textures: Dict[int, Texture] = {}
@@ -387,13 +395,13 @@ class GLES2Context:
         if tex is None:
             self._error(enums.GL_INVALID_OPERATION, "no texture bound")
             return
-        array = None
-        if pixels is not None:
-            array = np.asarray(pixels, dtype=np.uint8)
-        tex.set_image(width, height, fmt, array)
-        self.stats.texture_upload_bytes += (
-            width * height * enums.FORMAT_COMPONENTS[fmt]
-        )
+        nbytes = width * height * enums.FORMAT_COMPONENTS[fmt]
+        with trace.span("upload.texture", "upload", {"bytes": nbytes}):
+            array = None
+            if pixels is not None:
+                array = np.asarray(pixels, dtype=np.uint8)
+            tex.set_image(width, height, fmt, array)
+        self.stats.texture_upload_bytes += nbytes
 
     def glCopyTexImage2D(self, target: int, level: int, internalformat: int,
                          x: int, y: int, width: int, height: int,
@@ -437,10 +445,13 @@ class GLES2Context:
         if tex is None or tex.data is None:
             self._error(enums.GL_INVALID_OPERATION, "no texture storage")
             return
-        array = np.asarray(pixels, dtype=np.uint8).reshape(
-            height, width, enums.FORMAT_COMPONENTS[fmt]
-        )
-        tex.set_sub_image(xoffset, yoffset, array, fmt)
+        with trace.span("upload.texture", "upload") as sp:
+            array = np.asarray(pixels, dtype=np.uint8).reshape(
+                height, width, enums.FORMAT_COMPONENTS[fmt]
+            )
+            tex.set_sub_image(xoffset, yoffset, array, fmt)
+            if sp is not None:
+                sp.args["bytes"] = array.nbytes
         self.stats.texture_upload_bytes += array.nbytes
 
     # ==================================================================
@@ -501,7 +512,8 @@ class GLES2Context:
             size = np.asarray(data).nbytes if not isinstance(
                 data, (bytes, bytearray, memoryview)
             ) else len(data)
-        buf.set_data(data, size, usage)
+        with trace.span("upload.buffer", "upload", {"bytes": size}):
+            buf.set_data(data, size, usage)
         self.stats.buffer_upload_bytes += size
 
     def glGetBufferParameteriv(self, target: int, pname: int) -> int:
@@ -552,7 +564,17 @@ class GLES2Context:
         if obj is None:
             self._error(enums.GL_INVALID_VALUE, "glCompileShader")
             return
-        obj.compile()
+        with trace.span("compile.shader", "compile") as sp:
+            obj.compile()
+            if sp is not None:
+                sp.args["shader"] = shader
+                sp.args["stage"] = (
+                    "vertex" if obj.type == enums.GL_VERTEX_SHADER
+                    else "fragment"
+                )
+                sp.args["from_disk"] = bool(
+                    getattr(obj, "loaded_from_disk", False)
+                )
         self.stats.shader_compiles += 1
         if getattr(obj, "loaded_from_disk", False):
             self.stats.disk_warm_compiles += 1
@@ -1021,15 +1043,18 @@ class GLES2Context:
         if fb.status() != enums.GL_FRAMEBUFFER_COMPLETE:
             self._error(enums.GL_INVALID_FRAMEBUFFER_OPERATION, "glReadPixels")
             return np.zeros((0,), dtype=np.uint8)
-        buffer = fb.color_buffer()
-        fb_h, fb_w = buffer.shape[0], buffer.shape[1]
-        out = np.zeros((height, width, 4), dtype=np.uint8)
-        x0, x1 = max(x, 0), min(x + width, fb_w)
-        y0, y1 = max(y, 0), min(y + height, fb_h)
-        if x0 < x1 and y0 < y1:
-            out[y0 - y : y1 - y, x0 - x : x1 - x] = buffer[y0:y1, x0:x1]
-        components = 4 if fmt == enums.GL_RGBA else 3
-        result = out[:, :, :components]
+        with trace.span("readback.pixels", "readback") as sp:
+            buffer = fb.color_buffer()
+            fb_h, fb_w = buffer.shape[0], buffer.shape[1]
+            out = np.zeros((height, width, 4), dtype=np.uint8)
+            x0, x1 = max(x, 0), min(x + width, fb_w)
+            y0, y1 = max(y, 0), min(y + height, fb_h)
+            if x0 < x1 and y0 < y1:
+                out[y0 - y : y1 - y, x0 - x : x1 - x] = buffer[y0:y1, x0:x1]
+            components = 4 if fmt == enums.GL_RGBA else 3
+            result = out[:, :, :components]
+            if sp is not None:
+                sp.args["bytes"] = result.nbytes
         self.stats.readback_bytes += result.nbytes
         return result
 
@@ -1075,22 +1100,59 @@ class GLES2Context:
         def resolve_sampler(unit: int, gtype):
             return self._texture_at_unit(unit)
 
-        stats = execute_draw(
-            prog,
-            self._attribs,
-            index_stream,
-            mode,
-            self._viewport,
-            color_buffer,
-            self.float_model,
-            resolve_sampler,
-            quantization=self.quantization,
-            max_loop_iterations=self.max_loop_iterations,
-            execution_backend=self.execution_backend,
-            scissor=self._active_scissor(),
-            tile_size=self.tile_size,
-            shade_workers=self.shade_workers,
-        )
+        with trace.span("draw", "draw") as sp:
+            if sp is not None:
+                from ..perf.counters import disk_cache_stats, fault_path_stats
+
+                disk_before = disk_cache_stats.snapshot()
+                fault_before = fault_path_stats.snapshot()
+            stats = execute_draw(
+                prog,
+                self._attribs,
+                index_stream,
+                mode,
+                self._viewport,
+                color_buffer,
+                self.float_model,
+                resolve_sampler,
+                quantization=self.quantization,
+                max_loop_iterations=self.max_loop_iterations,
+                execution_backend=self.execution_backend,
+                scissor=self._active_scissor(),
+                tile_size=self.tile_size,
+                shade_workers=self.shade_workers,
+            )
+            if sp is not None:
+                from ..perf.gpu_model import GpuModel
+
+                disk_after = disk_cache_stats.snapshot()
+                fault_after = fault_path_stats.snapshot()
+                sp.args.update({
+                    "draw_index": len(self.stats.draws),
+                    "backend": self.execution_backend,
+                    "vertex_invocations": stats.vertex_invocations,
+                    "fragment_invocations": stats.fragment_invocations,
+                    "framebuffer_writes": stats.framebuffer_writes,
+                    "discarded_fragments": stats.discarded_fragments,
+                    "texture_gathers": stats.texture_gathers,
+                    "gather_fallbacks": stats.gather_fallbacks,
+                    # Modeled VideoCore-IV cost next to the span's real
+                    # elapsed time, so measured and predicted compare
+                    # on the same event.
+                    "modeled_seconds": GpuModel().draw_time(
+                        stats
+                    ).total_seconds,
+                    "disk_cache_delta": {
+                        key: disk_after[key] - disk_before[key]
+                        for key in disk_after
+                        if disk_after[key] != disk_before[key]
+                    },
+                    "fault_path_delta": {
+                        key: fault_after[key] - fault_before[key]
+                        for key in fault_after
+                        if fault_after[key] != fault_before[key]
+                    },
+                })
         self.stats.draws.append(stats)
         # IR/JIT artifacts are pulled from the persistent store lazily
         # at first-draw time (not at glCompileShader), so fold the

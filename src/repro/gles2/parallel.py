@@ -79,6 +79,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..perf import trace
 from ..perf.counters import OpCounters, fault_path_stats
 
 #: Draws actually shaded out-of-process (observability for tests and
@@ -186,14 +187,35 @@ def _get_pool(workers: int):
 
 
 def _restart_pool() -> None:
-    """Tear the pool down after a transport failure so the next
-    ``_get_pool`` builds a fresh one (counted by the caller in
+    """Tear the pool down after a transport failure or timeout so the
+    next ``_get_pool`` builds a fresh one (counted by the caller in
     ``fault_path_stats.pool_restarts``).  Unlike pool-creation
     failure, this is *not* permanent — a crashed worker says nothing
-    about the next pool."""
+    about the next pool.
+
+    ``shutdown(wait=False)`` only abandons the executor: a worker
+    wedged mid-chunk (the timeout case) stays alive, holding its CPU
+    and — under fork — whatever memory the draw shipped, for the rest
+    of the leader process's life.  Terminate the old pool's worker
+    processes outright so the retry attempt starts on healthy workers
+    with nothing competing for their cores."""
     global _POOL, _POOL_WORKERS
     if _POOL is not None:
+        # _processes is ProcessPoolExecutor internals (pid → Process);
+        # absent or reshaped on some platforms, hence the broad guard —
+        # missing the kill only degrades to the old leak, never breaks
+        # the restart.
+        try:
+            stale = list(getattr(_POOL, "_processes", {}).values())
+        except (AttributeError, TypeError, RuntimeError):
+            stale = []
         _POOL.shutdown(wait=False, cancel_futures=True)
+        for proc in stale:
+            try:
+                if proc.is_alive():
+                    proc.terminate()
+            except (AttributeError, OSError, ValueError):
+                pass
     _POOL = None
     _POOL_WORKERS = 0
 
@@ -377,6 +399,10 @@ def shade_draw(
     from ..testing import faults
 
     plan_payload["faults"] = faults.encode_active()
+    # Tracing travels the same way: workers record their spans locally
+    # and ship them back inside the chunk-result tuple (the leader's
+    # recorder object itself never crosses the pool boundary).
+    plan_payload["trace"] = trace.enabled()
     # One job of contiguous tiles per worker, the tiles *merged* into a
     # single fragment batch (see module docstring): ships the plan (and
     # its textures) workers times per draw, and pays the generated
@@ -433,6 +459,7 @@ def shade_draw(
             # intact, so retry on the same pool; a second helping of
             # garbage falls through to the in-process path.
             faults.note_swallowed("pool_dispatch", exc)
+            trace.instant("pool.retry", "pool", {"reason": "chunk_format"})
         except (_FuturesTimeout, *_POOL_ERRORS) as exc:
             # Worker death, wedged worker past the per-draw deadline,
             # or broken transport: this pool is unusable.  Tear it
@@ -440,14 +467,20 @@ def shade_draw(
             faults.note_swallowed("pool_dispatch", exc)
             _restart_pool()
             fault_path_stats.pool_restarts += 1
+            trace.instant("pool.restart", "pool",
+                          {"reason": type(exc).__name__})
     if dispatched is None:
         # Retry budget exhausted (or the pool could not be rebuilt):
         # degrade to in-process tiled shading with untouched counters.
         fault_path_stats.fault_fallbacks += 1
         _note_draw_outcome(success=False)
+        trace.instant("pool.fallback", "pool", {"reason": "exhausted"})
         return None
     _note_draw_outcome(success=True)
-    results, gathers, fallbacks, disk_loads = dispatched
+    results, gathers, fallbacks, disk_loads, worker_spans = dispatched
+    recorder = trace.active()
+    if recorder is not None and worker_spans:
+        recorder.ingest(worker_spans)
 
     if saved_counters is not None:
         saved_counters.merge(scratch)
@@ -471,38 +504,50 @@ def _dispatch_chunks(
 ):
     """Submit every chunk and gather validated results.
 
-    Returns ``(results, gathers, fallbacks, disk_loads)``; raises the
-    typed failure taxonomy the caller's retry loop dispatches on.  The
-    per-draw timeout is a shared deadline across the chunk futures —
-    the draw as a whole gets ``timeout`` seconds, not each chunk.
+    Returns ``(results, gathers, fallbacks, disk_loads, spans)`` —
+    ``spans`` the worker-recorded trace events of every chunk (empty
+    while tracing is off); raises the typed failure taxonomy the
+    caller's retry loop dispatches on.  The per-draw timeout is a
+    shared deadline across the chunk futures — the draw as a whole
+    gets ``timeout`` seconds, not each chunk.
     """
     futures = []
-    for idx in chunk_indices:
-        job = {reg: data[idx] for reg, data in wide_regs.items()}
-        futures.append(pool.submit(
-            _shade_chunk, plan_payload, job, idx.shape[0]
-        ))
+    with trace.span("pool.submit", "pool",
+                    {"chunks": len(chunk_indices)}):
+        for idx in chunk_indices:
+            job = {reg: data[idx] for reg, data in wide_regs.items()}
+            futures.append(pool.submit(
+                _shade_chunk, plan_payload, job, idx.shape[0]
+            ))
     deadline = (time.monotonic() + timeout) if timeout else None
     results: List[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]] = []
     gathers = fallbacks = 0
     disk_loads = 0
+    spans: List[dict] = []
     try:
-        for idx, future in zip(chunk_indices, futures):
-            if deadline is None:
-                raw = future.result()
-            else:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise _FuturesTimeout(
-                        "per-draw pool timeout exhausted"
-                    )
-                raw = future.result(timeout=remaining)
-            color, discarded, delta, from_disk = _validate_chunk(
-                raw, idx.shape[0], out_name
-            )
+        for chunk_no, (idx, future) in enumerate(
+            zip(chunk_indices, futures)
+        ):
+            with trace.span(
+                "pool.chunk", "pool",
+                {"chunk": chunk_no, "fragments": int(idx.shape[0])},
+            ):
+                if deadline is None:
+                    raw = future.result()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise _FuturesTimeout(
+                            "per-draw pool timeout exhausted"
+                        )
+                    raw = future.result(timeout=remaining)
+                color, discarded, delta, from_disk, chunk_spans = (
+                    _validate_chunk(raw, idx.shape[0], out_name)
+                )
             gathers += delta[0]
             fallbacks += delta[1]
             disk_loads += from_disk
+            spans.extend(chunk_spans)
             results.append((idx, color, discarded))
     finally:
         # Whatever the outcome, never leave stragglers queued: a
@@ -510,7 +555,7 @@ def _dispatch_chunks(
         # shading a framebuffer nobody will assemble.
         for future in futures:
             future.cancel()
-    return results, gathers, fallbacks, disk_loads
+    return results, gathers, fallbacks, disk_loads, spans
 
 
 def _validate_chunk(raw, count: int, out_name: str):
@@ -518,7 +563,8 @@ def _validate_chunk(raw, count: int, out_name: str):
     defence against a sick worker returning garbage.  Raises
     :class:`ChunkFormatError`; returns the normalised tuple."""
     try:
-        color, discarded, (chunk_gathers, chunk_fallbacks), from_disk = raw
+        (color, discarded, (chunk_gathers, chunk_fallbacks), from_disk,
+         chunk_spans) = raw
     except (TypeError, ValueError) as exc:
         raise ChunkFormatError(f"malformed chunk tuple: {exc}") from None
     if not isinstance(color, np.ndarray) or not np.issubdtype(
@@ -549,7 +595,12 @@ def _validate_chunk(raw, count: int, out_name: str):
         from_disk = int(from_disk)
     except (TypeError, ValueError) as exc:
         raise ChunkFormatError(f"malformed chunk counters: {exc}") from None
-    return color, discarded, (chunk_gathers, chunk_fallbacks), from_disk
+    if not isinstance(chunk_spans, (list, tuple)):
+        raise ChunkFormatError("chunk trace spans are not a sequence")
+    # Individual span dicts are validated (and bad ones dropped) by
+    # TraceRecorder.ingest — observability must never fail the draw.
+    return (color, discarded, (chunk_gathers, chunk_fallbacks), from_disk,
+            chunk_spans)
 
 
 # ----------------------------------------------------------------------
@@ -624,10 +675,13 @@ def _materialize(plan) -> Tuple[object, int]:
 
 def _shade_chunk(plan, wide_regs, count):
     """Shade one worker's merged tile chunk in a single invocation;
-    returns ``(color_data, discarded, (gathers, fallbacks),
-    from_disk)`` — the gather element is the chunk's texture-gather
-    delta and ``from_disk`` flags a plan materialised from the shared
-    disk cache (the leader folds both back into its counters).
+    returns ``(color_data, discarded, (gathers, fallbacks), from_disk,
+    spans)`` — the gather element is the chunk's texture-gather delta,
+    ``from_disk`` flags a plan materialised from the shared disk
+    cache (the leader folds both back into its counters), and
+    ``spans`` carries this worker's trace events (empty unless the
+    leader shipped ``plan["trace"]``; the leader ingests them so a
+    multiprocess draw renders as one timeline).
 
     Fault-injection hooks run first, under the leader-shipped plan:
     ``worker_crash`` hard-kills this process (``os._exit``, so the
@@ -645,7 +699,10 @@ def _shade_chunk(plan, wide_regs, count):
     if faults.fire("worker_hang"):
         time.sleep(faults.hang_seconds())
     garble = faults.fire("worker_garble")
+    traced = bool(plan.get("trace"))
+    t0 = time.perf_counter() if traced else 0.0
     fn, from_disk = _materialize(plan)
+    t1 = time.perf_counter() if traced else 0.0
     regs: List[Optional[_Reg]] = [None] * plan["nregs"]
     for reg, (kind, payload) in plan["base"].items():
         if kind == "sampler":
@@ -656,9 +713,19 @@ def _shade_chunk(plan, wide_regs, count):
         regs[reg] = _Reg(data=data)
     gst = fn.__globals__.get("_gst")
     before = tuple(gst) if gst is not None else (0, 0)
+    t2 = time.perf_counter() if traced else 0.0
     discarded = fn(regs, count, plan["maxit"])
     delta = ((gst[0] - before[0], gst[1] - before[1])
              if gst is not None else (0, 0))
+    spans = ()
+    if traced:
+        t3 = time.perf_counter()
+        spans = [
+            trace.raw_event("worker.materialize", "pool", t0, t1,
+                            {"from_disk": from_disk}),
+            trace.raw_event("worker.shade", "pool", t2, t3,
+                            {"fragments": int(count)}),
+        ]
     if garble:
-        return np.full(3, np.nan), discarded, delta, from_disk
-    return regs[plan["out_reg"]].data, discarded, delta, from_disk
+        return np.full(3, np.nan), discarded, delta, from_disk, spans
+    return regs[plan["out_reg"]].data, discarded, delta, from_disk, spans

@@ -25,6 +25,7 @@ import numpy as np
 from ..glsl.interp import Interpreter
 from ..glsl.ir import IRExecutor
 from ..glsl.values import Value
+from ..perf import trace
 from ..perf.counters import DrawStats, OpCounters
 from . import enums, raster
 from .errors import SimulatorLimitation
@@ -261,7 +262,8 @@ def execute_draw(
         counters=stats.vertex_ops,
         max_loop_iterations=max_loop_iterations,
     )
-    vs_env = vs_interp.execute(vertex_count, vs_presets)
+    with trace.span("draw.vertex", "draw", {"vertices": vertex_count}):
+        vs_env = vs_interp.execute(vertex_count, vs_presets)
     stats.vertex_invocations = vertex_count
 
     position = vs_env.get("gl_Position")
@@ -274,26 +276,29 @@ def execute_draw(
     # ------------------------------------------------------------------
     # 2. Primitive assembly + rasterisation.
     # ------------------------------------------------------------------
-    window, w_clip = raster.viewport_transform(positions_clip, viewport)
-    if mode == enums.GL_POINTS:
-        batch = raster.rasterize_points(
-            window, w_clip, index_stream, fb_width, fb_height
-        )
-        if scissor is not None:
-            batch = raster.apply_scissor(batch, scissor)
-    elif mode in (enums.GL_LINES, enums.GL_LINE_STRIP, enums.GL_LINE_LOOP):
-        segments = raster.assemble_lines(mode, index_stream)
-        batch = raster.rasterize_lines(
-            window, w_clip, segments, fb_width, fb_height
-        )
-        if scissor is not None:
-            batch = raster.apply_scissor(batch, scissor)
-    else:
-        triangles = raster.assemble_triangles(mode, index_stream)
-        batch = raster.rasterize_triangles(
-            window, w_clip, triangles, fb_width, fb_height,
-            scissor=scissor,
-        )
+    with trace.span("draw.raster", "draw") as sp:
+        window, w_clip = raster.viewport_transform(positions_clip, viewport)
+        if mode == enums.GL_POINTS:
+            batch = raster.rasterize_points(
+                window, w_clip, index_stream, fb_width, fb_height
+            )
+            if scissor is not None:
+                batch = raster.apply_scissor(batch, scissor)
+        elif mode in (enums.GL_LINES, enums.GL_LINE_STRIP, enums.GL_LINE_LOOP):
+            segments = raster.assemble_lines(mode, index_stream)
+            batch = raster.rasterize_lines(
+                window, w_clip, segments, fb_width, fb_height
+            )
+            if scissor is not None:
+                batch = raster.apply_scissor(batch, scissor)
+        else:
+            triangles = raster.assemble_triangles(mode, index_stream)
+            batch = raster.rasterize_triangles(
+                window, w_clip, triangles, fb_width, fb_height,
+                scissor=scissor,
+            )
+        if sp is not None:
+            sp.args["fragments"] = batch.count
     if batch.count == 0:
         return stats
 
@@ -301,21 +306,27 @@ def execute_draw(
     # 3. Varying interpolation + fragment shading.
     # ------------------------------------------------------------------
     fs_presets: Dict[str, Value] = dict(uniforms)
-    for name, gtype in program.varying_types.items():
-        per_vertex = vs_env[name].data
-        if (per_vertex.shape[0] != vertex_count
-                or per_vertex.dtype != np.float64):
-            # Uniform-width or reduced-precision vertex outputs need a
-            # widen + float64 upcast; outputs already at full vertex
-            # width in float64 (the exact-model GPGPU case) are used
-            # as-is — the broadcast + astype copy is pure per-launch
-            # overhead.
-            per_vertex = np.broadcast_to(
-                per_vertex.astype(np.float64),
-                (vertex_count,) + per_vertex.shape[1:],
+    with trace.span(
+        "draw.varyings", "draw",
+        {"varyings": len(program.varying_types), "fragments": batch.count},
+    ):
+        for name, gtype in program.varying_types.items():
+            per_vertex = vs_env[name].data
+            if (per_vertex.shape[0] != vertex_count
+                    or per_vertex.dtype != np.float64):
+                # Uniform-width or reduced-precision vertex outputs
+                # need a widen + float64 upcast; outputs already at
+                # full vertex width in float64 (the exact-model GPGPU
+                # case) are used as-is — the broadcast + astype copy
+                # is pure per-launch overhead.
+                per_vertex = np.broadcast_to(
+                    per_vertex.astype(np.float64),
+                    (vertex_count,) + per_vertex.shape[1:],
+                )
+            interpolated = raster.interpolate_varying(batch, per_vertex)
+            fs_presets[name] = Value(
+                gtype, interpolated.astype(float_model.dtype)
             )
-        interpolated = raster.interpolate_varying(batch, per_vertex)
-        fs_presets[name] = Value(gtype, interpolated.astype(float_model.dtype))
 
     frag_coord = np.empty((batch.count, 4), dtype=float_model.dtype)
     frag_coord[:, 0] = batch.px + 0.5
@@ -355,16 +366,24 @@ def execute_draw(
         if len(parts) > 1:
             tile_indices = parts
 
-    if tile_indices is None:
-        fs_env = fs_interp.execute(batch.count, fs_presets)
-        color = _extract_color(fs_env, out_name, batch.count)
-        color = color.astype(np.float64)
-        discarded = fs_interp.discarded
-    else:
-        color, discarded = _shade_tiled(
-            fs_interp, fs_presets, tile_indices, batch.count,
-            out_name, execution_backend, shade_workers,
-        )
+    with trace.span("draw.shade", "draw") as sp:
+        if sp is not None:
+            sp.args.update({
+                "fragments": batch.count,
+                "backend": execution_backend,
+                "tiles": len(tile_indices) if tile_indices else 1,
+                "workers": shade_workers,
+            })
+        if tile_indices is None:
+            fs_env = fs_interp.execute(batch.count, fs_presets)
+            color = _extract_color(fs_env, out_name, batch.count)
+            color = color.astype(np.float64)
+            discarded = fs_interp.discarded
+        else:
+            color, discarded = _shade_tiled(
+                fs_interp, fs_presets, tile_indices, batch.count,
+                out_name, execution_backend, shade_workers,
+            )
 
     keep = ~discarded
     stats.discarded_fragments = int((~keep).sum())
@@ -384,7 +403,8 @@ def execute_draw(
     # ------------------------------------------------------------------
     # 4. Output selection and framebuffer write (paper eq. (2)).
     # ------------------------------------------------------------------
-    quantised = quantize_color(color, quantization)
+    with trace.span("draw.quantise", "draw", {"fragments": batch.count}):
+        quantised = quantize_color(color, quantization)
     if _capture_hook is not None:
         _capture_hook(
             FragmentCapture(
@@ -398,9 +418,12 @@ def execute_draw(
                 quantization=quantization,
             )
         )
-    px = batch.px[keep]
-    py = batch.py[keep]
-    color_buffer[py, px] = quantised[keep]
+    with trace.span("draw.write", "draw") as sp:
+        px = batch.px[keep]
+        py = batch.py[keep]
+        color_buffer[py, px] = quantised[keep]
+        if sp is not None:
+            sp.args["writes"] = int(keep.sum())
     stats.framebuffer_writes = int(keep.sum())
     return stats
 
@@ -463,31 +486,39 @@ def _shade_tiled(
             out_name,
         )
         if results is not None:
-            for idx, chunk_color, chunk_discarded in results:
-                cn = idx.shape[0]
-                if out_name == "gl_FragData":
-                    chunk_color = np.broadcast_to(
-                        chunk_color, (cn, 1, 4)
-                    )[:, 0, :]
-                else:
-                    chunk_color = np.broadcast_to(chunk_color, (cn, 4))
-                color[idx] = chunk_color.astype(np.float64)
-                if chunk_discarded is None:
-                    discarded[idx] = False
-                elif chunk_discarded.shape[0] == cn:
-                    discarded[idx] = chunk_discarded
-                else:
-                    discarded[idx] = bool(chunk_discarded[0])
+            with trace.span(
+                "draw.merge", "draw",
+                {"chunks": len(results), "fragments": count},
+            ):
+                for idx, chunk_color, chunk_discarded in results:
+                    cn = idx.shape[0]
+                    if out_name == "gl_FragData":
+                        chunk_color = np.broadcast_to(
+                            chunk_color, (cn, 1, 4)
+                        )[:, 0, :]
+                    else:
+                        chunk_color = np.broadcast_to(chunk_color, (cn, 4))
+                    color[idx] = chunk_color.astype(np.float64)
+                    if chunk_discarded is None:
+                        discarded[idx] = False
+                    elif chunk_discarded.shape[0] == cn:
+                        discarded[idx] = chunk_discarded
+                    else:
+                        discarded[idx] = bool(chunk_discarded[0])
             return color, discarded
 
     for i, idx in enumerate(tile_indices):
-        tile_presets = _slice_presets(fs_presets, idx)
-        fs_env = fs_interp.execute(
-            idx.shape[0], tile_presets, count_globals=(i == 0)
-        )
-        tile_color = _extract_color(fs_env, out_name, idx.shape[0])
-        color[idx] = tile_color.astype(np.float64)
-        discarded[idx] = fs_interp.discarded
+        with trace.span(
+            "draw.shade.tile", "draw",
+            {"tile": i, "fragments": int(idx.shape[0])},
+        ):
+            tile_presets = _slice_presets(fs_presets, idx)
+            fs_env = fs_interp.execute(
+                idx.shape[0], tile_presets, count_globals=(i == 0)
+            )
+            tile_color = _extract_color(fs_env, out_name, idx.shape[0])
+            color[idx] = tile_color.astype(np.float64)
+            discarded[idx] = fs_interp.discarded
     return color, discarded
 
 

@@ -69,32 +69,42 @@ def reset_compile_events() -> None:
 def _load_or_compile(checked, fmodel, mkey) -> CompiledProgram:
     """The disk layer under the in-memory program memo."""
     from ...core import cache as artifact_cache
+    from ...perf import trace
 
-    digest = getattr(checked, "source_digest", None)
-    disk_key = None
-    if digest is not None and artifact_cache.enabled():
-        disk_key = artifact_cache.artifact_key(
-            "ir", digest,
-            stage=getattr(checked, "stage", ""),
-            model=f"{mkey[0]}:{mkey[1]}",
-            fusion=getattr(checked, "fusion_signature", ""),
-        )
-        data = artifact_cache.get(disk_key)
-        if data is not None:
-            program = artifact_cache.load_program(data, checked)
-            if program is not None:
-                compile_events["disk"] += 1
-                return program
-            artifact_cache.invalidate(disk_key)
-    program = compile_ir(checked, fmodel)
-    if disk_key is not None:
-        compile_events["fresh"] += 1
-        artifact_cache.put(
-            disk_key, artifact_cache.dump_program(program), "ir"
-        )
-    else:
-        compile_events["uncached"] += 1
-    return program
+    with trace.span("compile.ir", "compile") as sp:
+        if sp is not None:
+            sp.args["stage"] = getattr(checked, "stage", "")
+        digest = getattr(checked, "source_digest", None)
+        disk_key = None
+        if digest is not None and artifact_cache.enabled():
+            disk_key = artifact_cache.artifact_key(
+                "ir", digest,
+                stage=getattr(checked, "stage", ""),
+                model=f"{mkey[0]}:{mkey[1]}",
+                fusion=getattr(checked, "fusion_signature", ""),
+            )
+            data = artifact_cache.get(disk_key)
+            if data is not None:
+                program = artifact_cache.load_program(data, checked)
+                if program is not None:
+                    compile_events["disk"] += 1
+                    if sp is not None:
+                        sp.args["event"] = "disk"
+                    return program
+                artifact_cache.invalidate(disk_key)
+        program = compile_ir(checked, fmodel)
+        if disk_key is not None:
+            compile_events["fresh"] += 1
+            artifact_cache.put(
+                disk_key, artifact_cache.dump_program(program), "ir"
+            )
+        else:
+            compile_events["uncached"] += 1
+        if sp is not None:
+            sp.args["event"] = (
+                "fresh" if disk_key is not None else "uncached"
+            )
+        return program
 
 
 def compile_ir(checked, fmodel=None) -> CompiledProgram:

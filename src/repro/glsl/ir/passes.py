@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from ..errors import GlslError
 from ..values import Value
 from .nodes import (
     Block,
@@ -224,7 +225,13 @@ class _FoldPass:
                 host.regs[a] = self.known[a]
             self.handlers[ins.op](host, ins)
             result = host.regs[ins.out]
-        except Exception:
+        except (GlslError, ZeroDivisionError, FloatingPointError,
+                OverflowError, ValueError, TypeError, IndexError,
+                KeyError):
+            # Folding is best-effort: anything the evaluator can
+            # legitimately reject (semantic errors, numeric-domain
+            # failures, shape/type mismatches) leaves the instruction
+            # for runtime.  Genuine interpreter bugs now propagate.
             return ins
         if (not isinstance(result, Value) or result.data is None
                 or result.fields is not None

@@ -181,62 +181,83 @@ def _jit_function(program, fmodel, wide: FrozenSet[str]):
         rejected = program._jit_unsupported = {}
     if key in rejected:
         return None
-    disk_key = _disk_key(program, fmodel, wide)
-    if disk_key is not None:
-        payload = artifact_cache.get(disk_key)
-        if payload is not None:
-            entry = artifact_cache.load_jit_entry(payload)
-            fn = None
-            if entry is not None and "unsupported" in entry:
-                rejected[key] = entry["unsupported"]
-                codegen_events["disk"] += 1
-                return None
-            if entry is not None:
-                try:
-                    fn = materialize(
-                        entry["source"],
-                        artifact_cache.decode_captured(entry["captured"]),
-                        fmodel,
-                    )
-                except (SyntaxError, KeyError, NameError, TypeError,
-                        ValueError, AttributeError) as exc:
-                    # A stale artifact whose source no longer compiles
-                    # or whose captured namespace no longer resolves:
-                    # treat as corrupt data (invalidated below), never
-                    # as a fatal error — the healthy path regenerates.
-                    artifact_cache.stats.load_failures += 1
-                    faults.note_swallowed("jit_materialize", exc)
-                    fn = None
-            if fn is not None:
-                fn._jit_disk_key = disk_key
-                codegen_events["disk"] += 1
-                cache[key] = fn
-                return fn
-            artifact_cache.invalidate(disk_key)
-    try:
-        fn = generate(program, fmodel, wide)
-    except JitUnsupported as exc:
-        rejected[key] = str(exc)
+    from ...perf import trace
+
+    with trace.span("compile.jit", "compile") as sp:
+        if sp is not None:
+            sp.args["stage"] = getattr(program.checked, "stage", "")
+        disk_key = _disk_key(program, fmodel, wide)
         if disk_key is not None:
-            artifact_cache.put(
-                disk_key, artifact_cache.dump_jit_unsupported(str(exc)),
-                "jit",
+            payload = artifact_cache.get(disk_key)
+            if payload is not None:
+                entry = artifact_cache.load_jit_entry(payload)
+                fn = None
+                if entry is not None and "unsupported" in entry:
+                    rejected[key] = entry["unsupported"]
+                    codegen_events["disk"] += 1
+                    if sp is not None:
+                        sp.args.update(event="disk", unsupported=True)
+                    return None
+                if entry is not None:
+                    try:
+                        fn = materialize(
+                            entry["source"],
+                            artifact_cache.decode_captured(
+                                entry["captured"]
+                            ),
+                            fmodel,
+                        )
+                    except (SyntaxError, KeyError, NameError, TypeError,
+                            ValueError, AttributeError) as exc:
+                        # A stale artifact whose source no longer
+                        # compiles or whose captured namespace no
+                        # longer resolves: treat as corrupt data
+                        # (invalidated below), never as a fatal error
+                        # — the healthy path regenerates.
+                        artifact_cache.stats.load_failures += 1
+                        faults.note_swallowed("jit_materialize", exc)
+                        fn = None
+                if fn is not None:
+                    fn._jit_disk_key = disk_key
+                    codegen_events["disk"] += 1
+                    cache[key] = fn
+                    if sp is not None:
+                        sp.args["event"] = "disk"
+                    return fn
+                artifact_cache.invalidate(disk_key)
+        try:
+            fn = generate(program, fmodel, wide)
+        except JitUnsupported as exc:
+            rejected[key] = str(exc)
+            if disk_key is not None:
+                artifact_cache.put(
+                    disk_key,
+                    artifact_cache.dump_jit_unsupported(str(exc)),
+                    "jit",
+                )
+            if sp is not None:
+                sp.args.update(event="fresh", unsupported=True)
+            return None
+        fn._jit_disk_key = disk_key
+        if disk_key is not None:
+            codegen_events["fresh"] += 1
+            encoded = artifact_cache.encode_captured(fn._jit_captured)
+            if encoded is not None:
+                artifact_cache.put(
+                    disk_key,
+                    artifact_cache.dump_jit_entry(
+                        fn._jit_source, encoded
+                    ),
+                    "jit",
+                )
+        else:
+            codegen_events["uncached"] += 1
+        cache[key] = fn
+        if sp is not None:
+            sp.args["event"] = (
+                "fresh" if disk_key is not None else "uncached"
             )
-        return None
-    fn._jit_disk_key = disk_key
-    if disk_key is not None:
-        codegen_events["fresh"] += 1
-        encoded = artifact_cache.encode_captured(fn._jit_captured)
-        if encoded is not None:
-            artifact_cache.put(
-                disk_key,
-                artifact_cache.dump_jit_entry(fn._jit_source, encoded),
-                "jit",
-            )
-    else:
-        codegen_events["uncached"] += 1
-    cache[key] = fn
-    return fn
+        return fn
 
 
 class JitExecutor(IRExecutor):

@@ -314,7 +314,11 @@ def _eval_condition(expr: str, macros: Dict[str, Macro], lineno: int) -> int:
         )
     try:
         return int(bool(eval(text, {"__builtins__": {}}, {})))  # noqa: S307
-    except Exception as exc:
+    except (SyntaxError, ValueError, TypeError, ZeroDivisionError,
+            OverflowError, MemoryError, RecursionError) as exc:
+        # Everything a sanitised arithmetic expression can raise:
+        # malformed syntax, numeric-domain errors, and the resource
+        # blowups huge shift counts (``1<<999999999``) can trigger.
         raise GlslPreprocessorError(
             f"invalid #if condition {expr!r}: {exc}", line=lineno
         )

@@ -64,10 +64,17 @@ def gpu_wall_time(
     """Assemble the wall time of everything a context did."""
     model = GpuModel(params)
     elided_bytes = getattr(stats, "elided_intermediate_bytes", 0)
+    # The counter prices both legs of each skipped intermediate — the
+    # framebuffer write (upload-rate leg) *and* the texture re-read by
+    # the consumer (readback-rate leg) — in equal byte halves.
+    elided_half = elided_bytes / 2
     return GpuTimeline(
         compile_seconds=model.compile_seconds(stats),
         upload_seconds=model.upload_seconds(stats),
         execute_seconds=model.execute_seconds(stats),
         readback_seconds=model.readback_seconds(stats),
-        elided_transfer_seconds=elided_bytes / params.upload_bytes_per_second,
+        elided_transfer_seconds=(
+            elided_half / params.upload_bytes_per_second
+            + elided_half / params.readback_bytes_per_second
+        ),
     )

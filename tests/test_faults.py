@@ -378,26 +378,35 @@ def test_circuit_breaker_opens_after_repeated_failures():
 
 def test_validate_chunk_rejects_garbage():
     good_color = np.zeros((4, 4))
-    good = (good_color, None, (0, 0), 0)
+    good = (good_color, None, (0, 0), 0, [])
     assert parallel._validate_chunk(good, 4, "gl_FragColor")[0] is good_color
     with pytest.raises(parallel.ChunkFormatError, match="tuple"):
         parallel._validate_chunk((good_color, None), 4, "gl_FragColor")
+    with pytest.raises(parallel.ChunkFormatError, match="tuple"):
+        # Old 4-tuple protocol (no trace-span slot) is rejected too.
+        parallel._validate_chunk(
+            (good_color, None, (0, 0), 0), 4, "gl_FragColor"
+        )
     with pytest.raises(parallel.ChunkFormatError, match="float array"):
         parallel._validate_chunk(
-            ("nope", None, (0, 0), 0), 4, "gl_FragColor"
+            ("nope", None, (0, 0), 0, []), 4, "gl_FragColor"
         )
     with pytest.raises(parallel.ChunkFormatError, match="broadcast"):
         parallel._validate_chunk(
-            (np.full(3, np.nan), None, (0, 0), 0), 4, "gl_FragColor"
+            (np.full(3, np.nan), None, (0, 0), 0, []), 4, "gl_FragColor"
         )
     with pytest.raises(parallel.ChunkFormatError, match="discard"):
         parallel._validate_chunk(
-            (good_color, np.zeros(2, dtype=bool), (0, 0), 0),
+            (good_color, np.zeros(2, dtype=bool), (0, 0), 0, []),
             4, "gl_FragColor",
         )
     with pytest.raises(parallel.ChunkFormatError, match="counters"):
         parallel._validate_chunk(
-            (good_color, None, (None, 0), 0), 4, "gl_FragColor"
+            (good_color, None, (None, 0), 0, []), 4, "gl_FragColor"
+        )
+    with pytest.raises(parallel.ChunkFormatError, match="spans"):
+        parallel._validate_chunk(
+            (good_color, None, (0, 0), 0, 42), 4, "gl_FragColor"
         )
 
 
